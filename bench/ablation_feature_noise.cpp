@@ -1,0 +1,63 @@
+// Sensor-robustness ablation: how gracefully does the SMC degrade when its
+// observation features are corrupted by Gaussian noise? The paper scopes
+// sensor faults out ("non-actor-related risks ... are orthogonal"), so this
+// is an extension probing the trained policy's margin. Reuses the cached
+// ghost-cut-in policy from table3_mitigation.
+//
+//   ./ablation_feature_noise [--n=120] [--episodes=80] [--policy-dir=.]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "smc/controller.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 120);
+  const int episodes = args.get_int("episodes", 80);
+  const std::string policy_dir = args.get_string("policy-dir", ".");
+
+  const scenario::ScenarioFactory factory;
+  const auto t = scenario::Typology::kGhostCutIn;
+  const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+  const auto baseline = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+
+  bench::SmcPipelineOptions options;
+  options.episodes = episodes;
+  const auto policy = bench::load_or_train_smc(
+      factory, suite.specs, t, options, bench::policy_cache_path(policy_dir, t, true));
+  if (!policy) {
+    std::cout << "no baseline accidents to train from\n";
+    return 1;
+  }
+
+  common::Table table("Feature-noise robustness (ghost cut-in; features are in [-1, 1])");
+  table.set_header({"noise sigma", "CA%", "TCR%", "interventions/scenario"});
+  for (double sigma : {0.0, 0.02, 0.05, 0.10, 0.20, 0.40}) {
+    smc::SmcControlParams params;
+    params.feature_noise_std = sigma;
+    const auto mitigated = bench::run_suite(
+        factory, suite.specs, bench::lbc_maker(), [&] {
+          return std::make_unique<smc::SmcController>(*policy, params);
+        });
+    const auto s = bench::ca_summary(baseline, mitigated);
+    int activated = 0;
+    for (const auto& first : mitigated.first_mitigation) {
+      if (first) ++activated;
+    }
+    table.add_row({common::Table::num(sigma, 2), common::Table::num(s.ca_percent, 0),
+                   common::Table::num(s.tcr_percent, 1),
+                   common::Table::num(static_cast<double>(activated) /
+                                          std::max(mitigated.scenarios, 1),
+                                      2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nInterpretation: the features span [-1, 1], so sigma = 0.05 is ~2.5% of\n"
+               "the dynamic range. A robust policy should hold its CA% through small\n"
+               "sigma and fail gracefully (more spurious interventions, later misses)\n"
+               "as noise approaches the signal scale.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Mitigation action-set ablation — the paper's §VII future-work direction:
+// "The RL-based SMC has been demonstrated on braking and acceleration ...
+// excluding complex maneuvers like lane changes. Executing these complex
+// maneuvers requires closer integration of the RL-based SMC with the ADS to
+// avoid potential conflicting decisions."
+//
+// This bench trains one SMC per action set on the two typologies where the
+// action space plausibly matters — ghost cut-in (a lane change could dodge
+// the cutter) and rear-end (acceleration is mandatory, a lane change could
+// clear the chaser's path) — and reports CA%/TCR%. The lane-change actions
+// override steering, so any LBC-vs-SMC integration conflicts the paper
+// predicts show up directly in the rates.
+//
+//   ./ablation_smc_actions [--n=120] [--episodes=80]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "smc/controller.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 120);
+  const int episodes = args.get_int("episodes", 80);
+
+  const scenario::ScenarioFactory factory;
+  const core::StiCalculator sti;
+
+  common::Table table("SMC action-set ablation (per-typology retraining)");
+  table.set_header({"Typology", "Action set", "CA%", "TCR%", "TAS#"});
+
+  const scenario::Typology typologies[2] = {scenario::Typology::kGhostCutIn,
+                                            scenario::Typology::kRearEnd};
+  const struct {
+    std::string label;
+    int action_count;
+  } sets[] = {
+      {"{No-Op, BR}", smc::kActionCountBrakeOnly},
+      {"{No-Op, BR, ACC}", smc::kActionCountBrakeAccel},
+      {"{No-Op, BR, ACC, LCL, LCR}", smc::kActionCountFull},
+  };
+
+  for (scenario::Typology t : typologies) {
+    const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+    const auto baseline = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+    const auto train_idx = bench::select_training_spec(factory, suite.specs, sti);
+    if (!train_idx) continue;
+
+    for (const auto& set : sets) {
+      smc::SmcTrainConfig cfg;
+      cfg.episodes = episodes;
+      cfg.action_count = set.action_count;
+      if (t == scenario::Typology::kRearEnd) {
+        cfg.ddqn.gamma = 0.98;
+        cfg.episodes = episodes + episodes / 2;
+      }
+      agents::LbcAgent base;
+      smc::SmcTrainer trainer(cfg);
+      common::Rng jitter(0x5EED);
+      std::cout << "[" << scenario::typology_name(t) << "] training " << set.label
+                << "...\n";
+      rl::Mlp policy = trainer.train(
+          [&](int) {
+            return factory.build(
+                scenario::jitter_spec(suite.specs[*train_idx], 0.10, jitter));
+          },
+          base, nullptr);
+
+      const auto mitigated =
+          bench::run_suite(factory, suite.specs, bench::lbc_maker(),
+                           bench::smc_maker(policy));
+      const auto s = bench::ca_summary(baseline, mitigated);
+      table.add_row({std::string(scenario::typology_name(t)), set.label,
+                     common::Table::num(s.ca_percent, 0),
+                     common::Table::num(s.tcr_percent, 1), std::to_string(s.tas)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nInterpretation: the paper demonstrates {BR} / {BR, ACC}; LCL/LCR is its\n"
+               "future-work extension. Lane-change overrides steer against the base\n"
+               "ADS's lane keeping, so this ablation quantifies both the extra escape\n"
+               "options and the ADS-integration conflict the paper anticipates.\n";
+  return 0;
+}

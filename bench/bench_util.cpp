@@ -1,0 +1,177 @@
+#include "bench_util.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "eval/pkl_training.hpp"
+#include "eval/series.hpp"
+#include "smc/controller.hpp"
+
+namespace iprism::bench {
+
+AgentMaker lbc_maker() {
+  return [] { return std::make_unique<agents::LbcAgent>(); };
+}
+
+AgentMaker rip_maker() {
+  return [] { return std::make_unique<agents::RipAgent>(); };
+}
+
+ControllerMaker aca_maker() {
+  return [] { return std::make_unique<agents::TtcAcaController>(); };
+}
+
+ControllerMaker smc_maker(const rl::Mlp& policy) {
+  return [&policy] { return std::make_unique<smc::SmcController>(policy); };
+}
+
+double SuiteOutcome::mean_first_mitigation() const {
+  common::RunningStat stat;
+  for (const auto& t : first_mitigation) {
+    if (t) stat.add(*t);
+  }
+  return stat.mean();
+}
+
+SuiteOutcome run_suite(const scenario::ScenarioFactory& factory,
+                       const std::vector<scenario::ScenarioSpec>& specs,
+                       const AgentMaker& agent, const ControllerMaker& controller) {
+  SuiteOutcome out;
+  out.scenarios = static_cast<int>(specs.size());
+  out.accident_flags.reserve(specs.size());
+  out.first_mitigation.reserve(specs.size());
+  for (const scenario::ScenarioSpec& spec : specs) {
+    auto driving = agent();
+    std::unique_ptr<agents::MitigationController> overlay;
+    if (controller) overlay = controller();
+    const eval::EpisodeResult r =
+        eval::run_episode(factory.build(spec), *driving, overlay.get());
+    out.accident_flags.push_back(r.ego_accident);
+    out.first_mitigation.push_back(r.first_mitigation_time);
+    if (r.ego_accident) ++out.accidents;
+  }
+  return out;
+}
+
+CaSummary ca_summary(const SuiteOutcome& baseline, const SuiteOutcome& mitigated) {
+  IPRISM_CHECK(baseline.scenarios == mitigated.scenarios,
+               "ca_summary: outcome sizes differ");
+  CaSummary s;
+  s.tas = baseline.accidents;
+  for (std::size_t i = 0; i < baseline.accident_flags.size(); ++i) {
+    if (baseline.accident_flags[i] && !mitigated.accident_flags[i]) ++s.ca;
+  }
+  s.ca_percent = s.tas > 0 ? 100.0 * s.ca / s.tas : 0.0;
+  s.tcr_percent =
+      mitigated.scenarios > 0 ? 100.0 * mitigated.accidents / mitigated.scenarios : 0.0;
+  return s;
+}
+
+std::optional<std::size_t> select_training_spec(const scenario::ScenarioFactory& factory,
+                                                const std::vector<scenario::ScenarioSpec>& specs,
+                                                const core::StiCalculator& sti,
+                                                int max_checked,
+                                                double min_accident_time) {
+  std::optional<std::size_t> best;
+  double best_score = -1.0;
+  int checked = 0;
+  for (std::size_t i = 0; i < specs.size() && checked < max_checked; ++i) {
+    agents::LbcAgent lbc;
+    const eval::EpisodeResult r = eval::run_episode(factory.build(specs[i]), lbc);
+    if (!r.ego_accident || r.accident_time < min_accident_time) continue;
+    ++checked;
+    common::RunningStat window;
+    const int back = static_cast<int>(2.0 / r.dt);  // last two seconds
+    for (int step = std::max(0, r.accident_step - back); step <= r.accident_step;
+         step += 4) {
+      const auto scene = r.snapshot_at(step);
+      window.add(sti.combined(*scene.map, scene.ego.state, scene.time,
+                              r.ground_truth_forecasts(step)));
+    }
+    if (window.count() > 0 && window.mean() > best_score) {
+      best_score = window.mean();
+      best = i;
+    }
+  }
+  return best;
+}
+
+rl::Mlp train_smc_for(const scenario::ScenarioFactory& factory,
+                      const scenario::ScenarioSpec& training_spec,
+                      scenario::Typology typology, const SmcPipelineOptions& options,
+                      smc::SmcTrainStats* stats) {
+  smc::SmcTrainConfig cfg;
+  cfg.episodes = options.episodes;
+  cfg.reward.use_sti = options.use_sti;
+  cfg.seed = options.seed;
+  if (typology == scenario::Typology::kRearEnd) {
+    // §V-C "Extension to other mitigation actions": rear-end needs the
+    // acceleration action and benefits from a longer credit horizon.
+    cfg.action_count = smc::kActionCountBrakeAccel;
+    cfg.ddqn.gamma = 0.98;
+    cfg.episodes = options.episodes + options.episodes / 2;
+  } else {
+    cfg.action_count = smc::kActionCountBrakeOnly;
+  }
+
+  agents::LbcAgent base;
+  smc::SmcTrainer trainer(cfg);
+  common::Rng jitter_rng(options.seed ^ 0x5EEDULL);
+  return trainer.train(
+      [&](int) {
+        return factory.build(scenario::jitter_spec(training_spec, options.jitter, jitter_rng));
+      },
+      base, stats);
+}
+
+std::string policy_cache_path(const std::string& dir, scenario::Typology typology,
+                              bool use_sti) {
+  std::string name(scenario::typology_name(typology));
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+  }
+  return dir + "/smc_policy_" + name + (use_sti ? "" : "_no_sti") + ".txt";
+}
+
+std::optional<rl::Mlp> load_or_train_smc(const scenario::ScenarioFactory& factory,
+                                         const std::vector<scenario::ScenarioSpec>& specs,
+                                         scenario::Typology typology,
+                                         const SmcPipelineOptions& options,
+                                         const std::string& cache_path) {
+  if (!cache_path.empty()) {
+    std::ifstream in(cache_path);
+    if (in) return rl::Mlp::load(in);
+  }
+  const core::StiCalculator sti;
+  const auto idx = select_training_spec(factory, specs, sti);
+  if (!idx) return std::nullopt;
+  rl::Mlp policy = train_smc_for(factory, specs[*idx], typology, options);
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path);
+    if (out) policy.save(out);
+  }
+  return policy;
+}
+
+core::PklWeights fit_pkl_on(const scenario::ScenarioFactory& factory,
+                            const std::vector<scenario::Typology>& typologies,
+                            int scenarios_per_typology, std::uint64_t seed) {
+  const core::PklMetric metric;  // prior weights; used only to roll candidates
+  std::vector<core::PklTrainingExample> data;
+  for (scenario::Typology t : typologies) {
+    const auto suite = scenario::generate_suite(factory, t, scenarios_per_typology, seed);
+    for (const auto& spec : suite.specs) {
+      agents::LbcAgent lbc;
+      const eval::EpisodeResult r = eval::run_episode(factory.build(spec), lbc);
+      auto examples = eval::collect_pkl_examples(r, metric, /*stride=*/8);
+      data.insert(data.end(), std::make_move_iterator(examples.begin()),
+                  std::make_move_iterator(examples.end()));
+    }
+  }
+  IPRISM_CHECK(!data.empty(), "fit_pkl_on: no training demonstrations collected");
+  common::Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);
+  return core::fit_pkl_weights(data, /*epochs=*/8, /*learning_rate=*/0.02, rng);
+}
+
+}  // namespace iprism::bench

@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 4: mean +/- SD time series of STI(combined), PKL,
+// and TTC-risk, plotted separately for safe vs accident scenarios of each
+// typology (the paper's 15 panels; Dist-CIPA omitted there as here).
+//
+//   ./fig4_risk_profiles [--n=40] [--stride=3] [--csv=fig4.csv]
+//
+// Prints a coarse text summary (series sampled every second) and optionally
+// dumps the full per-step series to CSV for plotting.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 40);
+  const int stride = args.get_int("stride", 3);
+  const std::string csv_path = args.get_string("csv", "");
+
+  const scenario::ScenarioFactory factory;
+  const core::StiCalculator sti;
+  const core::TtcMetric ttc(3.0);
+  const core::PklMetric pkl;  // prior weights; Fig. 4 shows the qualitative shape
+
+  struct MetricDef {
+    std::string name;
+    eval::RiskFn fn;
+  };
+  const MetricDef metrics[3] = {
+      {"STI", eval::sti_risk(sti)},
+      {"PKL", eval::pkl_risk(pkl)},
+      {"TTC", eval::ttc_risk(ttc)},
+  };
+
+  std::unique_ptr<common::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<common::CsvWriter>(csv_path);
+    csv->write_row(std::vector<std::string>{"typology", "metric", "bucket", "step",
+                                            "mean", "stddev", "count"});
+  }
+
+  for (scenario::Typology t : scenario::kAllTypologies) {
+    const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+    // Bucket episodes: safe vs accident under the LBC baseline.
+    std::vector<eval::EpisodeResult> safe;
+    std::vector<eval::EpisodeResult> accident;
+    for (const auto& spec : suite.specs) {
+      agents::LbcAgent lbc;
+      eval::EpisodeResult r = eval::run_episode(factory.build(spec), lbc);
+      (r.ego_accident ? accident : safe).push_back(std::move(r));
+    }
+    std::cout << "== " << scenario::typology_name(t) << " — " << safe.size()
+              << " safe, " << accident.size() << " accident episodes ==\n";
+
+    for (const MetricDef& metric : metrics) {
+      for (int bucket = 0; bucket < 2; ++bucket) {
+        const auto& episodes = bucket == 0 ? safe : accident;
+        const char* bucket_name = bucket == 0 ? "safe" : "accident";
+        if (episodes.empty()) continue;
+        std::vector<std::vector<double>> series;
+        series.reserve(episodes.size());
+        for (const auto& ep : episodes) {
+          series.push_back(eval::risk_series(ep, metric.fn, stride));
+        }
+        const auto agg = common::aggregate_series(series);
+
+        std::cout << "  " << metric.name << " / " << bucket_name << ":";
+        const int per_second = static_cast<int>(1.0 / episodes.front().dt);
+        for (std::size_t i = 0; i < agg.mean.size(); i += per_second) {
+          std::cout << ' ' << common::Table::num(agg.mean[i], 2);
+        }
+        std::cout << '\n';
+
+        if (csv) {
+          for (std::size_t i = 0; i < agg.mean.size(); ++i) {
+            csv->write_row(std::vector<std::string>{
+                std::string(scenario::typology_name(t)), metric.name, bucket_name,
+                std::to_string(i), common::Table::num(agg.mean[i], 5),
+                common::Table::num(agg.stddev[i], 5), std::to_string(agg.count[i])});
+          }
+        }
+      }
+    }
+  }
+  std::cout << "\nPaper reference: STI rises toward 1.0 before accidents and falls after\n"
+               "the ego's own mitigation in safe runs; PKL fluctuates and separates the\n"
+               "buckets inconsistently; TTC barely reacts except on lead slowdown.\n";
+  return 0;
+}

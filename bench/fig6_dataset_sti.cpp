@@ -1,0 +1,73 @@
+// Reproduces paper Fig. 6: STI characterization of a "real-world" dataset.
+// The corpus is the synthetic benign-traffic log set that substitutes for
+// Argoverse (DESIGN.md §2): rule-abiding, gap-keeping drivers with rare
+// mildly-risky interactions. The paper's observation — per-actor STI is
+// zero for ~90% of samples and both distributions are long-tailed — is a
+// property of benign data, which the scan must reproduce.
+//
+//   ./fig6_dataset_sti [--logs=60] [--stride=5] [--csv=fig6.csv]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/scan.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  dataset::DatasetParams params;
+  params.log_count = args.get_int("logs", 60);
+  const int stride = args.get_int("stride", 5);
+  const std::string csv_path = args.get_string("csv", "");
+
+  std::cout << "Generating " << params.log_count << " recorded logs...\n";
+  const auto logs = dataset::generate_dataset(params);
+  const core::StiCalculator sti;
+  std::cout << "Scanning STI over " << logs.size() << " logs...\n";
+  const auto scan = dataset::scan_logs(logs, sti, stride);
+
+  common::Table table("Fig. 6 — STI percentiles over the recorded-log corpus");
+  table.set_header({"Distribution", "p50", "p75", "p90", "p99", "samples"});
+  table.add_row({"Per-actor STI", common::Table::num(scan.actor_percentile(50), 3),
+                 common::Table::num(scan.actor_percentile(75), 3),
+                 common::Table::num(scan.actor_percentile(90), 3),
+                 common::Table::num(scan.actor_percentile(99), 3),
+                 std::to_string(scan.actor_sti.size())});
+  table.add_row({"STI (combined)", common::Table::num(scan.combined_percentile(50), 3),
+                 common::Table::num(scan.combined_percentile(75), 3),
+                 common::Table::num(scan.combined_percentile(90), 3),
+                 common::Table::num(scan.combined_percentile(99), 3),
+                 std::to_string(scan.combined_sti.size())});
+  table.print(std::cout);
+  std::cout << "Per-actor zero fraction: "
+            << common::Table::num(100.0 * scan.actor_zero_fraction(), 1) << "%\n";
+
+  // Coarse histogram for the long-tail shape.
+  constexpr int kBins = 10;
+  int actor_hist[kBins] = {};
+  for (double v : scan.actor_sti) {
+    ++actor_hist[std::min(static_cast<int>(v * kBins), kBins - 1)];
+  }
+  std::cout << "Per-actor STI histogram (bin width 0.1): ";
+  for (int b = 0; b < kBins; ++b) std::cout << actor_hist[b] << ' ';
+  std::cout << '\n';
+
+  if (!csv_path.empty()) {
+    common::CsvWriter csv(csv_path);
+    csv.write_row(std::vector<std::string>{"kind", "value"});
+    for (double v : scan.actor_sti)
+      csv.write_row(std::vector<std::string>{"actor", common::Table::num(v, 5)});
+    for (double v : scan.combined_sti)
+      csv.write_row(std::vector<std::string>{"combined", common::Table::num(v, 5)});
+  }
+
+  std::cout << "\nPaper reference (Argoverse): per-actor p50/p75/p90/p99 =\n"
+               "0 / 0 / 0.020 / 0.33; combined 0.09 / 0.29 / 0.52 / 0.93; per-actor\n"
+               "STI is zero ~90% of the time. Benign data is long-tailed, so NHTSA\n"
+               "typologies are out-of-distribution for models trained on it.\n";
+  return 0;
+}

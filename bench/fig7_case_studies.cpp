@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 7: four recorded scenes where STI's per-actor risk
+// ranking disagrees with closest-actor / in-path heuristics — a pedestrian
+// crossing, an oversized straddling truck, a cluttered street, and a car
+// pulling out into the ego lane.
+//
+//   ./fig7_case_studies
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dataset/cases.hpp"
+#include "dataset/scan.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  (void)args;
+
+  const auto scenes = dataset::build_case_scenes();
+  const core::StiCalculator sti;
+
+  for (const auto& scene : scenes) {
+    std::cout << "== Case: " << scene.name << " ==\n" << scene.description << "\n";
+    const auto ranked = dataset::rank_actors(scene.log, scene.analysis_step, sti);
+    const auto snapshot = scene.log.snapshot_at(scene.analysis_step);
+
+    common::Table table("per-actor STI at t=" + common::Table::num(snapshot.time, 1) + " s");
+    table.set_header({"Actor", "STI", "Distance to ego (m)"});
+    for (const auto& r : ranked) {
+      double dist = 0.0;
+      for (const auto& other : snapshot.others) {
+        if (other.id == r.id) {
+          dist = geom::distance(other.state.position(), snapshot.ego.state.position());
+        }
+      }
+      table.add_row({"#" + std::to_string(r.id), common::Table::num(r.sti, 2),
+                     common::Table::num(dist, 1)});
+    }
+    table.print(std::cout);
+
+    // The paper's observation: the riskiest actor is often not the closest.
+    if (ranked.size() >= 2) {
+      double best_dist = 1e18;
+      int closest = -1;
+      for (const auto& other : snapshot.others) {
+        const double d = geom::distance(other.state.position(), snapshot.ego.state.position());
+        if (d < best_dist) {
+          best_dist = d;
+          closest = other.id;
+        }
+      }
+      std::cout << "Riskiest actor: #" << ranked.front().id << "; closest actor: #"
+                << closest << (ranked.front().id == closest ? " (same)" : " (different)")
+                << "\n";
+    }
+    std::cout << '\n';
+  }
+  std::cout << "Paper reference: pedestrian 0.72, oversized actor 0.69, entering actor\n"
+               "0.35 (exiting actor 0) — risk tracks blocked escape routes, not\n"
+               "proximity or in-path status.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces the paper's §V-C roundabout extension: the ghost cut-in
+// typology transplanted onto a roundabout (the map RIP's authors used to
+// demonstrate it), comparing RIP against RIP+iPrism. The SMC policy is the
+// one trained on the straight-road ghost cut-in — the point is transfer.
+//
+//   ./roundabout_rip [--n=150] [--episodes=80] [--policy-dir=.]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "smc/controller.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 150);
+  const int episodes = args.get_int("episodes", 80);
+  const std::string policy_dir = args.get_string("policy-dir", ".");
+
+  const scenario::ScenarioFactory factory;
+  const auto t = scenario::Typology::kGhostCutIn;
+  const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+
+  bench::SmcPipelineOptions options;
+  options.episodes = episodes;
+  const auto policy = bench::load_or_train_smc(
+      factory, suite.specs, t, options, bench::policy_cache_path(policy_dir, t, true));
+  if (!policy) {
+    std::cout << "no baseline accidents to train from\n";
+    return 1;
+  }
+
+  // Roundabout worlds have shorter useful horizons; cap the episode.
+  eval::RunOptions run;
+  run.max_seconds = 25.0;
+  run.end_margin = 8.0;
+
+  // The roundabout scenario places the ego in lane 0 (the outer ring).
+  agents::RipAgent::Params rip_params;
+  rip_params.route_lane = 0;
+
+  int rip_accidents = 0;
+  int iprism_accidents = 0;
+  int prevented = 0;
+  for (const auto& spec : suite.specs) {
+    agents::RipAgent rip1(rip_params);
+    const auto base = eval::run_episode(factory.build_roundabout(spec), rip1, nullptr, run);
+    agents::RipAgent rip2(rip_params);
+    smc::SmcController controller(*policy);
+    const auto mitigated =
+        eval::run_episode(factory.build_roundabout(spec), rip2, &controller, run);
+    if (base.ego_accident) ++rip_accidents;
+    if (mitigated.ego_accident) ++iprism_accidents;
+    if (base.ego_accident && !mitigated.ego_accident) ++prevented;
+  }
+
+  common::Table table("Roundabout + ghost cut-in (§V-C extension)");
+  table.set_header({"Agent", "Collisions", "TCR%"});
+  table.add_row({"RIP", std::to_string(rip_accidents),
+                 common::Table::num(100.0 * rip_accidents / suite.specs.size(), 1)});
+  table.add_row({"RIP+iPrism", std::to_string(iprism_accidents),
+                 common::Table::num(100.0 * iprism_accidents / suite.specs.size(), 1)});
+  table.print(std::cout);
+  std::cout << "iPrism prevented " << prevented << " of " << rip_accidents
+            << " RIP accidents ("
+            << common::Table::num(
+                   rip_accidents ? 100.0 * prevented / rip_accidents : 0.0, 1)
+            << "%)\n";
+  std::cout << "\nPaper reference: RIP collides in 84.3% of roundabout scenarios;\n"
+               "RIP+iPrism in 68.6% (18.6% of RIP's accidents mitigated).\n";
+  return 0;
+}

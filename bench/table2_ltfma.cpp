@@ -1,0 +1,98 @@
+// Reproduces paper Table II: Lead-Time-for-Mitigating-Accident (seconds)
+// across risk metrics and scenario typologies, on the accident subset of
+// each typology, with ground-truth actor trajectories (§IV-C).
+//
+//   ./table2_ltfma [--n=120] [--pkl-n=12] [--stride=2]
+//
+// PKL-All is fitted on demonstrations from all five typologies;
+// PKL-Holdout on all but the two cut-in typologies.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/series.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 120);
+  const int pkl_n = args.get_int("pkl-n", 12);
+  const int stride = args.get_int("stride", 2);
+
+  const scenario::ScenarioFactory factory;
+  const core::StiCalculator sti;
+  const core::TtcMetric ttc(3.0);
+  const core::DistCipaMetric cipa(25.0);
+
+  std::cout << "Fitting PKL planners (" << pkl_n << " scenarios/typology)...\n";
+  const core::PklWeights w_all = bench::fit_pkl_on(
+      factory,
+      {scenario::Typology::kGhostCutIn, scenario::Typology::kLeadCutIn,
+       scenario::Typology::kLeadSlowdown, scenario::Typology::kFrontAccident,
+       scenario::Typology::kRearEnd},
+      pkl_n, bench::kSuiteSeed);
+  const core::PklWeights w_holdout = bench::fit_pkl_on(
+      factory,
+      {scenario::Typology::kLeadSlowdown, scenario::Typology::kFrontAccident,
+       scenario::Typology::kRearEnd},
+      pkl_n, bench::kSuiteSeed);
+  const core::PklMetric pkl_all(core::PklParams{}, w_all);
+  const core::PklMetric pkl_holdout(core::PklParams{}, w_holdout);
+
+  struct Row {
+    std::string name;
+    eval::RiskFn fn;
+    int stride;
+    common::RunningStat per_typology[4];
+    common::RunningStat overall;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"TTC", eval::ttc_risk(ttc), 1, {}, {}});
+  rows.push_back({"Dist. CIPA", eval::dist_cipa_risk(cipa), 1, {}, {}});
+  rows.push_back({"PKL-All", eval::pkl_risk(pkl_all), stride, {}, {}});
+  rows.push_back({"PKL-Holdout", eval::pkl_risk(pkl_holdout), stride, {}, {}});
+  rows.push_back({"STI (ours)", eval::sti_risk(sti), stride, {}, {}});
+
+  const scenario::Typology typologies[4] = {
+      scenario::Typology::kGhostCutIn, scenario::Typology::kLeadCutIn,
+      scenario::Typology::kLeadSlowdown, scenario::Typology::kRearEnd};
+
+  for (int ti = 0; ti < 4; ++ti) {
+    const auto suite = scenario::generate_suite(factory, typologies[ti], n, bench::kSuiteSeed);
+    int accidents = 0;
+    for (const auto& spec : suite.specs) {
+      agents::LbcAgent lbc;
+      const eval::EpisodeResult r = eval::run_episode(factory.build(spec), lbc);
+      if (!r.ego_accident) continue;
+      ++accidents;
+      for (Row& row : rows) {
+        const double lead = eval::ltfma_backward(r, row.fn, row.stride);
+        row.per_typology[ti].add(lead);
+        row.overall.add(lead);
+      }
+    }
+    std::cout << scenario::typology_name(typologies[ti]) << ": " << accidents
+              << " accident scenarios analysed\n";
+  }
+
+  common::Table table("Table II — LTFMA (s), mean (SD) per metric and typology");
+  table.set_header({"Metric", "Ghost Cut-In", "Lead Cut-In", "Lead Slowdown", "Rear-End",
+                    "All Scenarios"});
+  for (Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (int ti = 0; ti < 4; ++ti) {
+      cells.push_back(common::Table::num(row.per_typology[ti].mean(), 2) + " (" +
+                      common::Table::num(row.per_typology[ti].stddev(), 2) + ")");
+    }
+    cells.push_back(common::Table::num(row.overall.mean(), 2));
+    table.add_row(cells);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper reference (All Scenarios avg): TTC 0.83, Dist. CIPA 1.38,\n"
+               "PKL-All 0.75, PKL-Holdout 1.19, STI 3.69 — STI dominates every\n"
+               "baseline; TTC/CIPA are ~0 on both cut-ins and rear-end.\n";
+  return 0;
+}

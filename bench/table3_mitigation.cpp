@@ -1,0 +1,91 @@
+// Reproduces paper Table III: accident-prevention rates across agents and
+// scenario typologies, plus the §V-C rear-end extension (acceleration
+// action). Four mitigated configurations per typology:
+//
+//   LBC+SMC w/ STI  (LBC+iPrism)   — the contribution
+//   LBC+SMC w/o STI                — ablation: Eq. 8 without the STI term
+//   LBC+TTC-based ACA              — rule-based safety controller
+//   RIP+SMC w/ STI  (RIP+iPrism)   — generalization to another ADS
+//
+//   ./table3_mitigation [--n=150] [--episodes=80] [--policy-dir=.]
+//
+// Trained policies are cached under --policy-dir (delete the files to force
+// retraining); table4_activation_timing and fig5_sti_timeseries reuse them.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 150);
+  const int episodes = args.get_int("episodes", 80);
+  const std::string policy_dir = args.get_string("policy-dir", ".");
+
+  const scenario::ScenarioFactory factory;
+  common::Table table("Table III — accident prevention rates across agents");
+  table.set_header({"Typology", "Agent", "CA%", "TCR%", "CA#", "TAS#"});
+
+  const scenario::Typology typologies[4] = {
+      scenario::Typology::kGhostCutIn, scenario::Typology::kLeadCutIn,
+      scenario::Typology::kLeadSlowdown, scenario::Typology::kRearEnd};
+
+  for (scenario::Typology t : typologies) {
+    const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+    const std::string tname(scenario::typology_name(t));
+    std::cout << "[" << tname << "] baseline runs...\n";
+    const auto lbc_base = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+    const auto rip_base = bench::run_suite(factory, suite.specs, bench::rip_maker());
+
+    bench::SmcPipelineOptions with_sti;
+    with_sti.episodes = episodes;
+    bench::SmcPipelineOptions without_sti = with_sti;
+    without_sti.use_sti = false;
+
+    std::cout << "[" << tname << "] training SMC (w/ STI)...\n";
+    const auto policy = bench::load_or_train_smc(
+        factory, suite.specs, t, with_sti, bench::policy_cache_path(policy_dir, t, true));
+    std::cout << "[" << tname << "] training SMC (w/o STI ablation)...\n";
+    const auto policy_no_sti = bench::load_or_train_smc(
+        factory, suite.specs, t, without_sti,
+        bench::policy_cache_path(policy_dir, t, false));
+    if (!policy || !policy_no_sti) {
+      std::cout << "[" << tname << "] baseline produced no accidents; skipped\n";
+      continue;
+    }
+
+    struct Config {
+      std::string label;
+      bench::AgentMaker agent;
+      bench::ControllerMaker controller;
+      const bench::SuiteOutcome* baseline;
+    };
+    const Config configs[] = {
+        {"LBC+SMC w/ STI (LBC+iPrism)", bench::lbc_maker(), bench::smc_maker(*policy),
+         &lbc_base},
+        {"LBC+SMC w/o STI (ablation)", bench::lbc_maker(), bench::smc_maker(*policy_no_sti),
+         &lbc_base},
+        {"LBC+TTC-based ACA", bench::lbc_maker(), bench::aca_maker(), &lbc_base},
+        {"RIP+SMC w/ STI (RIP+iPrism)", bench::rip_maker(), bench::smc_maker(*policy),
+         &rip_base},
+    };
+    for (const Config& config : configs) {
+      const auto mitigated =
+          bench::run_suite(factory, suite.specs, config.agent, config.controller);
+      const auto s = bench::ca_summary(*config.baseline, mitigated);
+      table.add_row({tname, config.label, common::Table::num(s.ca_percent, 0),
+                     common::Table::num(s.tcr_percent, 1), std::to_string(s.ca),
+                     std::to_string(s.tas)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout <<
+      "\nPaper reference (CA% per ghost/lead cut-in/slowdown): LBC+iPrism 49/98/87,\n"
+      "ablation 1/2/86, TTC-ACA 0/0/92, RIP+iPrism 86/61/71; rear-end extension:\n"
+      "iPrism prevents 37% (282/770) where ACA and RIP are ineffective.\n";
+  return 0;
+}

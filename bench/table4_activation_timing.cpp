@@ -1,0 +1,63 @@
+// Reproduces paper Table IV: when does each safety controller first
+// intervene? iPrism's SMC acts earlier than TTC-based ACA on every
+// typology — the proactive-vs-reactive gap that explains Table III.
+//
+//   ./table4_activation_timing [--n=150] [--episodes=80] [--policy-dir=.]
+//
+// Reuses policies cached by table3_mitigation when present.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace iprism;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const int n = args.get_int("n", 150);
+  const int episodes = args.get_int("episodes", 80);
+  const std::string policy_dir = args.get_string("policy-dir", ".");
+
+  const scenario::ScenarioFactory factory;
+  const scenario::Typology typologies[3] = {scenario::Typology::kGhostCutIn,
+                                            scenario::Typology::kLeadCutIn,
+                                            scenario::Typology::kLeadSlowdown};
+
+  common::Table table("Table IV — first mitigation activation time (s into scenario)");
+  table.set_header({"Agent", "Ghost cut-in", "Lead cut-in", "Lead slowdown"});
+  std::vector<std::string> smc_row{"LBC+SMC w/ STI (LBC+iPrism)"};
+  std::vector<std::string> aca_row{"LBC+TTC-based ACA"};
+  std::vector<std::string> lead_row{"Lead Time in Mitigation (s)"};
+
+  for (scenario::Typology t : typologies) {
+    const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
+    bench::SmcPipelineOptions options;
+    options.episodes = episodes;
+    const auto policy = bench::load_or_train_smc(
+        factory, suite.specs, t, options, bench::policy_cache_path(policy_dir, t, true));
+    if (!policy) {
+      smc_row.push_back("-");
+      aca_row.push_back("-");
+      lead_row.push_back("-");
+      continue;
+    }
+    const auto smc_run =
+        bench::run_suite(factory, suite.specs, bench::lbc_maker(), bench::smc_maker(*policy));
+    const auto aca_run =
+        bench::run_suite(factory, suite.specs, bench::lbc_maker(), bench::aca_maker());
+    const double smc_t = smc_run.mean_first_mitigation();
+    const double aca_t = aca_run.mean_first_mitigation();
+    smc_row.push_back(common::Table::num(smc_t, 2));
+    aca_row.push_back(common::Table::num(aca_t, 2));
+    lead_row.push_back(common::Table::num(aca_t - smc_t, 2));
+  }
+  table.add_row(smc_row);
+  table.add_row(aca_row);
+  table.add_row(lead_row);
+  table.print(std::cout);
+  std::cout << "\nPaper reference (lead time of iPrism over ACA): ghost cut-in 0.57 s,\n"
+               "lead cut-in 3.73 s, lead slowdown 1.32 s — iPrism intervenes earlier\n"
+               "everywhere (lower activation time is better).\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Dataset mining: scan a corpus of recorded driving logs with STI and
+// surface the riskiest moments — the paper's §V-D use case (finding the
+// rare safety-critical scenarios hiding inside benign recorded data).
+//
+// Build & run:  cmake --build build && ./build/examples/dataset_mining
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/sti.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/scan.hpp"
+
+using namespace iprism;
+
+int main() {
+  // Generate a small corpus of benign recorded logs (the stand-in for a
+  // real-world dataset; see DESIGN.md §2).
+  dataset::DatasetParams params;
+  params.log_count = 30;
+  params.risky_fraction = 0.15;  // slightly elevated so the demo finds hits
+  const auto logs = dataset::generate_dataset(params);
+  std::cout << "Scanning " << logs.size() << " logs for risky moments...\n\n";
+
+  const core::StiCalculator sti;
+
+  struct Hit {
+    std::size_t log_index;
+    int step;
+    double combined;
+    int riskiest_actor;
+    double actor_sti;
+  };
+  std::vector<Hit> hits;
+
+  for (std::size_t li = 0; li < logs.size(); ++li) {
+    const auto& log = logs[li];
+    Hit best{li, -1, 0.0, -1, 0.0};
+    for (int step = 0; step < log.samples(); step += 5) {
+      const auto scene = log.snapshot_at(step);
+      const auto forecasts = log.forecasts_at(step);
+      const auto result = sti.compute(log.map(), scene.ego.state, scene.time, forecasts);
+      if (result.combined > best.combined) {
+        best.step = step;
+        best.combined = result.combined;
+        best.actor_sti = 0.0;
+        for (const auto& [id, v] : result.per_actor) {
+          if (v > best.actor_sti) {
+            best.actor_sti = v;
+            best.riskiest_actor = id;
+          }
+        }
+      }
+    }
+    if (best.step >= 0) hits.push_back(best);
+  }
+
+  std::sort(hits.begin(), hits.end(),
+            [](const Hit& a, const Hit& b) { return a.combined > b.combined; });
+
+  common::Table table("Top risky moments across the corpus");
+  table.set_header({"log", "t (s)", "STI combined", "riskiest actor", "actor STI"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(hits.size(), 10); ++i) {
+    const Hit& h = hits[i];
+    table.add_row({std::to_string(h.log_index),
+                   common::Table::num(h.step * logs[h.log_index].dt(), 1),
+                   common::Table::num(h.combined, 2),
+                   h.riskiest_actor >= 0 ? "#" + std::to_string(h.riskiest_actor) : "-",
+                   common::Table::num(h.actor_sti, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nMoments like these are exactly what gets promoted into a regression\n"
+               "suite for continuous safety validation — most of the corpus scans at\n"
+               "STI 0 and can be skipped.\n";
+  return 0;
+}

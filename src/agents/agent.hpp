@@ -1,0 +1,49 @@
+// Driving agents (the ADS under test) and mitigation controllers (safety
+// overlays such as TTC-based ACA and iPrism's SMC).
+//
+// iPrism's architecture (paper Fig. 2) keeps the ADS and the mitigation
+// controller separate: the ADS produces the nominal control every step; a
+// MitigationController may override it. The evaluation harness composes any
+// agent with any controller, which is what makes the LBC+X / RIP+X rows of
+// Table III expressible.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "dynamics/state.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::agents {
+
+/// The autonomous driving system controlling the ego. Agents observe the
+/// whole world (the LBC agent "cheats" with ground-truth state by design;
+/// our surrogates inherit that interface).
+class DrivingAgent {
+ public:
+  virtual ~DrivingAgent() = default;
+
+  /// Nominal control for the current step.
+  virtual dynamics::Control act(const sim::World& world) = 0;
+
+  /// Clears per-episode state before a new scenario.
+  virtual void reset() {}
+
+  virtual std::string_view name() const = 0;
+};
+
+/// A safety overlay: given the world (and the ADS's nominal control),
+/// either returns an override control or std::nullopt for "no operation".
+class MitigationController {
+ public:
+  virtual ~MitigationController() = default;
+
+  virtual std::optional<dynamics::Control> intervene(const sim::World& world,
+                                                     const dynamics::Control& nominal) = 0;
+
+  virtual void reset() {}
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace iprism::agents

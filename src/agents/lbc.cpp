@@ -1,0 +1,72 @@
+#include "agents/lbc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/behaviors.hpp"
+#include "sim/queries.hpp"
+
+namespace iprism::agents {
+
+void LbcAgent::reset() {
+  steps_until_eval_ = 0;
+  held_hazard_accel_ = 0.0;
+}
+
+dynamics::Control LbcAgent::act(const sim::World& world) {
+  const sim::Actor& ego = world.ego();
+  dynamics::Control u = sim::lane_keep_control(world, ego, p_.route_lane, p_.cruise_speed);
+
+  const auto& map = world.map();
+  const double lane_center = map.lane_center_offset(p_.route_lane);
+  const double detect_band = p_.detection_lane_fraction * map.lane_width();
+
+  // The emergency reflex runs every step; the deliberative hazard response
+  // only every decision interval (camera-policy latency).
+  bool emergency = false;
+  const bool evaluate = steps_until_eval_ <= 0;
+  double worst_needed_decel = 0.0;
+
+  for (const sim::Actor& other : world.actors()) {
+    if (other.id == ego.id) continue;
+    const double offset = sim::longitudinal_offset(world, ego, other);
+    if (offset <= 0.0) continue;  // no rear awareness
+    const double d = map.lateral(other.state.position());
+    if (std::abs(d - lane_center) > detect_band) continue;  // not "in lane" yet
+
+    const double gap = offset - ego.dims.length / 2.0 - other.dims.length / 2.0;
+    if (gap < p_.standoff) {
+      emergency = true;
+      continue;
+    }
+    if (!evaluate) continue;
+
+    const double lane_heading = map.heading_at(map.arclength(other.state.position()));
+    const double other_v =
+        other.state.speed * std::cos(geom::angle_diff(other.state.heading, lane_heading));
+    const double closing = ego.state.speed - other_v;
+    if (closing <= 0.0) continue;
+    // Deceleration needed to match the hazard's speed with the standoff kept.
+    const double usable = std::max(gap - p_.standoff, 0.1);
+    const double needed = closing * closing / (2.0 * usable);
+    worst_needed_decel = std::max(worst_needed_decel, needed);
+  }
+
+  if (evaluate) {
+    held_hazard_accel_ = worst_needed_decel > p_.reaction_decel
+                             ? -std::min(1.25 * worst_needed_decel, p_.comfort_brake)
+                             : 0.0;
+    steps_until_eval_ = p_.decision_interval_steps;
+  }
+  --steps_until_eval_;
+
+  if (emergency) {
+    u.accel = -p_.max_brake;
+  } else if (held_hazard_accel_ < 0.0) {
+    u.accel = held_hazard_accel_;
+  }
+  return u;
+}
+
+}  // namespace iprism::agents

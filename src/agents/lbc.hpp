@@ -1,0 +1,62 @@
+// LBC-surrogate baseline agent.
+//
+// The paper uses Chen et al.'s Learning-by-Cheating network "as is" as the
+// fallible baseline ADS. This library substitutes a scripted controller
+// that reproduces LBC's *failure profile* on the NHTSA typologies
+// (substitution documented in DESIGN.md §2):
+//
+//   - keeps its route lane at cruise speed (good lane keeping);
+//   - brakes for actors that are already substantially inside its lane
+//     corridor — so abrupt side cut-ins are detected late (ghost cut-in
+//     weakness);
+//   - reacts proportionally to required deceleration, so gentle lead
+//     slowdowns are usually handled while aggressive ones are not;
+//   - has no rear awareness at all (rear-end weakness, like a camera-only
+//     forward-facing policy).
+#pragma once
+
+#include "agents/agent.hpp"
+
+namespace iprism::agents {
+
+class LbcAgent final : public DrivingAgent {
+ public:
+  struct Params {
+    int route_lane = 1;
+    double cruise_speed = 8.0;
+    /// An actor registers as a hazard only once its centre is within this
+    /// fraction of a lane width from the route-lane centre (late detection
+    /// of cut-ins is the point).
+    double detection_lane_fraction = 0.55;
+    /// Reaction is triggered when the kinematically-required deceleration
+    /// exceeds this (m/s^2).
+    double reaction_decel = 2.2;
+    /// Margin kept to stopped traffic (m).
+    double standoff = 4.0;
+    /// Cap on reactive (comfort) braking — imitation policies brake
+    /// smoothly; full braking is reserved for the emergency standoff zone.
+    double comfort_brake = 4.0;
+    double max_brake = 6.0;
+    /// The hazard response is re-evaluated only every this many steps —
+    /// the perception/decision latency of a camera policy; the braking
+    /// command is held in between. Lane keeping and the emergency reflex
+    /// still run every step.
+    int decision_interval_steps = 5;
+  };
+
+  LbcAgent() : LbcAgent(Params{}) {}
+  explicit LbcAgent(const Params& params) : p_(params) {}
+
+  dynamics::Control act(const sim::World& world) override;
+  void reset() override;
+  std::string_view name() const override { return "LBC"; }
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  int steps_until_eval_ = 0;
+  double held_hazard_accel_ = 0.0;  ///< held braking command; 0 = none
+};
+
+}  // namespace iprism::agents

@@ -1,0 +1,128 @@
+#include "agents/rip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "sim/behaviors.hpp"
+#include "sim/queries.hpp"
+
+namespace iprism::agents {
+namespace {
+
+/// Per-actor novelty w.r.t. benign training traffic: closing speeds beyond
+/// ~3 m/s and lateral manoeuvres beyond ~0.5 m/s are out-of-distribution.
+double actor_novelty(const sim::World& world, const sim::Actor& ego,
+                     const sim::Actor& other) {
+  const auto& map = world.map();
+  const double lane_heading = map.heading_at(map.arclength(other.state.position()));
+  const double heading_off = std::abs(geom::angle_diff(other.state.heading, lane_heading));
+  const double lateral_speed = other.state.speed * std::sin(heading_off);
+  const double closing =
+      std::abs(ego.state.speed - other.state.speed * std::cos(heading_off));
+  // Benign traffic: closing <~ 3 m/s, lateral <~ 0.5 m/s, speeds <~ 10 m/s.
+  // Speeding actors (fast overtakers) are strongly OOD for data collected
+  // from rule-abiding drivers.
+  return std::min(std::max(0.0, (closing - 3.0) / 6.0) +
+                      std::max(0.0, (lateral_speed - 0.5) / 1.5) +
+                      std::max(0.0, (other.state.speed - 10.0) / 3.0),
+                  2.0);
+}
+
+/// Whether the actor overlaps the ego's straight-ahead corridor.
+bool in_ego_path(const sim::World& world, const sim::Actor& ego, const sim::Actor& other) {
+  const auto& map = world.map();
+  const double d_ego = map.lateral(ego.state.position());
+  const double d_other = map.lateral(other.state.position());
+  const double overlap =
+      ego.dims.width / 2.0 + other.dims.width / 2.0 - std::abs(d_other - d_ego);
+  return overlap > 0.0 && sim::longitudinal_offset(world, ego, other) > 0.0;
+}
+
+}  // namespace
+
+double RipAgent::novelty(const sim::World& world) const {
+  const sim::Actor& ego = world.ego();
+  double nov = 0.0;
+  for (const sim::Actor& other : world.actors()) {
+    if (other.id == ego.id) continue;
+    if (geom::distance(other.state.position(), ego.state.position()) > 60.0) continue;
+    nov = std::max(nov, actor_novelty(world, ego, other));
+  }
+  return nov;
+}
+
+dynamics::Control RipAgent::act(const sim::World& world) {
+  const sim::Actor& ego = world.ego();
+  const int steps = static_cast<int>(std::lround(p_.plan_horizon / p_.plan_dt));
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_speed = p_.cruise_speed;
+
+  for (double target : p_.speed_options) {
+    // Worst-case-model aggregation: the candidate's cost is its maximum
+    // over ensemble members.
+    double worst = 0.0;
+    for (int m = 0; m < p_.ensemble_size; ++m) {
+      // A deterministic per-(step, member, candidate) noise stream.
+      common::Rng rng(p_.seed ^ (static_cast<std::uint64_t>(step_) << 24) ^
+                      (static_cast<std::uint64_t>(m) << 8) ^
+                      static_cast<std::uint64_t>(target * 16.0 + 64.0));
+      double cost = p_.prior_weight * std::abs(target - p_.cruise_speed);
+
+      // Constant-acceleration rollout of the ego toward the target speed,
+      // against each actor as *this imitative member* models it. Two OOD
+      // failure modes, both documented in DESIGN.md §2:
+      //  - in-path actors: imitation-learned world models have never seen
+      //    traffic stop mid-road, so decelerating leads are predicted to
+      //    keep flowing at a benign floor speed (optimism -> late braking);
+      //  - out-of-path actors: positions are perceived with noise that
+      //    grows with the actor's novelty (pessimism -> phantom braking).
+      bool collided = false;
+      for (const sim::Actor& other : world.actors()) {
+        if (other.id == ego.id || collided) continue;
+        const double nov = actor_novelty(world, ego, other);
+        const bool in_path = in_ego_path(world, ego, other);
+
+        geom::Vec2 opos = other.state.position();
+        geom::Vec2 ovel = other.state.velocity();
+        if (in_path && other.state.speed > 0.5) {
+          // Stopped vehicles (parked cars, wreckage) do appear in benign
+          // data and are modelled correctly; it is *decelerating-but-
+          // moving* traffic the imitative prior refuses to believe in.
+          const double predicted =
+              std::max(other.state.speed, p_.benign_floor_speed);
+          ovel = geom::heading_vec(other.state.heading) * predicted;
+        } else if (!in_path) {
+          const double noise = p_.base_noise + p_.novelty_noise * nov;
+          opos += geom::Vec2{rng.normal(0.0, noise), rng.normal(0.0, noise)};
+        }
+
+        double ev = ego.state.speed;
+        geom::Vec2 epos = ego.state.position();
+        const geom::Vec2 edir = geom::heading_vec(ego.state.heading);
+        for (int j = 0; j < steps && !collided; ++j) {
+          const double accel = std::clamp(1.2 * (target - ev), -6.0, 3.0);
+          ev = std::max(ev + accel * p_.plan_dt, 0.0);
+          epos += edir * (ev * p_.plan_dt);
+          opos += ovel * p_.plan_dt;
+          const double clearance = geom::distance(epos, opos) -
+                                   (ego.dims.length + other.dims.length) / 2.0;
+          if (clearance < 0.5) collided = true;
+        }
+      }
+      if (collided) cost += p_.collision_weight;
+      worst = std::max(worst, cost);
+    }
+    if (worst < best_cost) {
+      best_cost = worst;
+      best_speed = target;
+    }
+  }
+
+  ++step_;
+  return sim::lane_keep_control(world, ego, p_.route_lane, best_speed);
+}
+
+}  // namespace iprism::agents

@@ -1,0 +1,66 @@
+// RIP-WCM surrogate agent (paper §IV-D, ref [16]).
+//
+// Robust Imitative Planning evaluates candidate plans under an ensemble of
+// imitation-learned models and executes the plan that is best under the
+// worst-case model (WCM). The paper's finding — reproduced here at the
+// behaviour level — is that on OOD safety-critical scenarios the ensemble's
+// likelihoods stop tracking true risk, so RIP underperforms even the LBC
+// baseline on the lead cut-in / lead slowdown typologies.
+//
+// The surrogate keeps the WCM decision rule exactly, over a candidate set
+// of target speeds, but evaluates collision risk with each ensemble
+// member's *miscalibrated* perception: per-member position noise that grows
+// with scene novelty (closing speeds / lateral manoeuvres outside the
+// benign training distribution), plus an imitation prior that pulls toward
+// cruise speed. Deterministic given (seed, step, member).
+#pragma once
+
+#include <vector>
+
+#include "agents/agent.hpp"
+
+namespace iprism::agents {
+
+class RipAgent final : public DrivingAgent {
+ public:
+  struct Params {
+    int route_lane = 1;
+    double cruise_speed = 8.0;
+    int ensemble_size = 5;
+    /// Candidate target speeds (m/s) the planner scores.
+    std::vector<double> speed_options{0.0, 2.0, 4.0, 6.0, 8.0, 10.0};
+    double plan_horizon = 2.0;
+    double plan_dt = 0.25;
+    /// Imitation prior: cost per m/s deviation from cruise speed.
+    double prior_weight = 0.45;
+    /// Collision cost under a member's perceived rollout.
+    double collision_weight = 4.0;
+    /// Base per-member perception noise (m).
+    double base_noise = 0.4;
+    /// Extra noise per unit of scene novelty (m).
+    double novelty_noise = 2.4;
+    /// Imitative optimism: in-path actors are predicted to keep flowing at
+    /// no less than this speed (m/s) — benign training data contains no
+    /// mid-road stops, which is the paper's "likelihood values often do
+    /// not correspond to the actual risks" failure on lead typologies.
+    double benign_floor_speed = 6.5;
+    std::uint64_t seed = 7;
+  };
+
+  RipAgent() : RipAgent(Params{}) {}
+  explicit RipAgent(const Params& params) : p_(params) {}
+
+  dynamics::Control act(const sim::World& world) override;
+  void reset() override { step_ = 0; }
+  std::string_view name() const override { return "RIP-WCM"; }
+
+ private:
+  /// Novelty of the scene w.r.t. benign training data: large closing
+  /// speeds and lateral manoeuvres are out-of-distribution.
+  double novelty(const sim::World& world) const;
+
+  Params p_;
+  int step_ = 0;
+};
+
+}  // namespace iprism::agents

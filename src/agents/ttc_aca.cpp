@@ -1,0 +1,18 @@
+#include "agents/ttc_aca.hpp"
+
+#include "sim/queries.hpp"
+
+namespace iprism::agents {
+
+std::optional<dynamics::Control> TtcAcaController::intervene(
+    const sim::World& world, const dynamics::Control& nominal) {
+  const auto cipa = sim::closest_in_path(world, world.ego());
+  if (!cipa || cipa->closing_speed <= 0.0) return std::nullopt;
+  const double ttc = std::max(cipa->gap, 0.0) / cipa->closing_speed;
+  if (ttc >= p_.ttc_threshold) return std::nullopt;
+  dynamics::Control u = nominal;
+  u.accel = -p_.max_brake;
+  return u;
+}
+
+}  // namespace iprism::agents

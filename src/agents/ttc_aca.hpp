@@ -1,0 +1,31 @@
+// TTC-based Automatic Collision Avoidance (paper §IV-D baseline 2): the
+// standard rule-based safety controller — full braking once the
+// time-to-collision to the closest in-path actor falls below a threshold.
+// Reactive by construction: it cannot fire before the hazard is in path,
+// which is exactly the weakness Table III exposes on cut-in typologies.
+#pragma once
+
+#include "agents/agent.hpp"
+
+namespace iprism::agents {
+
+class TtcAcaController final : public MitigationController {
+ public:
+  struct Params {
+    double ttc_threshold = 1.8;  ///< seconds
+    double max_brake = 6.0;
+  };
+
+  TtcAcaController() : TtcAcaController(Params{}) {}
+  explicit TtcAcaController(const Params& params) : p_(params) {}
+
+  std::optional<dynamics::Control> intervene(const sim::World& world,
+                                             const dynamics::Control& nominal) override;
+
+  std::string_view name() const override { return "TTC-based ACA"; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace iprism::agents

@@ -1,0 +1,27 @@
+// Precondition / invariant checking helpers.
+//
+// IPRISM_CHECK throws std::invalid_argument with a source-located message;
+// it is used for public-API precondition violations (I.5 / P.7: catch
+// run-time errors early, report them loudly).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace iprism {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace iprism
+
+#define IPRISM_CHECK(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) ::iprism::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

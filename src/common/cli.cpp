@@ -1,0 +1,39 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace iprism::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) > 0; }
+
+int CliArgs::get_int(const std::string& key, int fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::string CliArgs::get_string(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+}  // namespace iprism::common

@@ -1,0 +1,29 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace iprism::common {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    os << cells[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace iprism::common

@@ -1,0 +1,24 @@
+// CSV emission for benchmark series (Fig. 4 / Fig. 5 / Fig. 6 data dumps),
+// so the plotted figures can be regenerated from the printed data.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace iprism::common {
+
+/// Writes one header row followed by data rows. Throws std::runtime_error if
+/// the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace iprism::common

@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::common {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  IPRISM_CHECK(q >= 0.0 && q <= 100.0, "percentile: q must be in [0, 100]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean_of(const std::vector<double>& values) {
+  RunningStat s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStat s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+SeriesAggregate aggregate_series(const std::vector<std::vector<double>>& series) {
+  std::size_t longest = 0;
+  for (const auto& s : series) longest = std::max(longest, s.size());
+  SeriesAggregate out;
+  out.mean.resize(longest, 0.0);
+  out.stddev.resize(longest, 0.0);
+  out.count.resize(longest, 0);
+  for (std::size_t i = 0; i < longest; ++i) {
+    RunningStat stat;
+    for (const auto& s : series) {
+      if (i < s.size()) stat.add(s[i]);
+    }
+    out.mean[i] = stat.mean();
+    out.stddev[i] = stat.stddev();
+    out.count[i] = stat.count();
+  }
+  return out;
+}
+
+}  // namespace iprism::common

@@ -1,0 +1,52 @@
+// Small statistics helpers used by the evaluation harness: streaming
+// mean/stddev (Welford), percentiles, and series aggregation across runs of
+// unequal length (needed for the Fig. 4 mean±SD time-series panels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iprism::common {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics.
+/// `q` in [0, 100]. Returns 0 for an empty input. Copies + sorts.
+double percentile(std::vector<double> values, double q);
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev_of(const std::vector<double>& values);
+
+/// Aggregates many time series of unequal length into per-index mean and
+/// stddev vectors, out to the longest series; each index aggregates only the
+/// series that reach it.
+struct SeriesAggregate {
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  std::vector<std::size_t> count;
+};
+SeriesAggregate aggregate_series(const std::vector<std::vector<double>>& series);
+
+}  // namespace iprism::common

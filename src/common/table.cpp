@@ -1,0 +1,48 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace iprism::common {
+
+void Table::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os.flush();
+}
+
+}  // namespace iprism::common

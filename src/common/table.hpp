@@ -1,0 +1,31 @@
+// Fixed-width console table rendering for the benchmark harness so every
+// reproduced table prints in the same aligned style the paper uses.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iprism::common {
+
+/// Collects rows of string cells and renders them with per-column widths,
+/// a header rule, and a title line.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (no trailing exponent noise).
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iprism::common

@@ -1,0 +1,19 @@
+#include "core/dist_cipa.hpp"
+
+#include <algorithm>
+
+namespace iprism::core {
+
+double DistCipaMetric::value(const SceneSnapshot& scene) const {
+  const auto cipa = closest_in_path(scene);
+  if (!cipa) return kInfinity;
+  return std::max(cipa->gap, 0.0);
+}
+
+double DistCipaMetric::risk(const SceneSnapshot& scene) const {
+  const double d = value(scene);
+  if (d >= threshold_) return 0.0;
+  return std::clamp((threshold_ - d) / threshold_, 0.0, 1.0);
+}
+
+}  // namespace iprism::core

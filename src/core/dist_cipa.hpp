@@ -1,0 +1,30 @@
+// Distance to the closest in-path actor (paper §IV-C): a proximity risk
+// indicator. Risk is nonzero once the bumper gap to the closest in-path
+// actor falls below `threshold` metres.
+#pragma once
+
+#include <limits>
+
+#include "core/scene.hpp"
+
+namespace iprism::core {
+
+class DistCipaMetric {
+ public:
+  explicit DistCipaMetric(double threshold_m = 25.0) : threshold_(threshold_m) {}
+
+  /// Raw gap in metres; +infinity when there is no in-path actor.
+  double value(const SceneSnapshot& scene) const;
+
+  /// Normalized risk in [0, 1]: 0 beyond the threshold, 1 at contact.
+  double risk(const SceneSnapshot& scene) const;
+
+  double threshold() const { return threshold_; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  double threshold_;
+};
+
+}  // namespace iprism::core

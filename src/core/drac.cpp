@@ -1,0 +1,30 @@
+#include "core/drac.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace iprism::core {
+
+DracMetric::DracMetric(double comfortable_decel, double max_decel)
+    : comfortable_(comfortable_decel), max_(max_decel) {
+  IPRISM_CHECK(comfortable_decel > 0.0 && max_decel > comfortable_decel,
+               "DracMetric: need 0 < comfortable_decel < max_decel");
+}
+
+double DracMetric::value(const SceneSnapshot& scene) const {
+  const auto cipa = closest_in_path(scene);
+  if (!cipa || cipa->closing_speed <= 0.0) return 0.0;
+  const double gap = std::max(cipa->gap, 0.05);
+  // Matching the lead's speed after closing the gap:
+  // v_rel^2 = 2 * a * gap  =>  a = v_rel^2 / (2 * gap).
+  return cipa->closing_speed * cipa->closing_speed / (2.0 * gap);
+}
+
+double DracMetric::risk(const SceneSnapshot& scene) const {
+  const double required = value(scene);
+  if (required <= comfortable_) return 0.0;
+  return std::min((required - comfortable_) / (max_ - comfortable_), 1.0);
+}
+
+}  // namespace iprism::core

@@ -1,0 +1,37 @@
+// Deceleration Rate to Avoid Crash (DRAC) — another kinematics-based
+// surrogate safety metric from the criticality-metric family the paper's
+// related-work survey covers ([10], [12]): the constant braking rate the
+// ego would need, from this instant, to avoid striking the closest in-path
+// actor. Included as an additional baseline; like TTC/CIPA it is blind to
+// out-of-path threats, which is the contrast STI exists to fix.
+#pragma once
+
+#include <limits>
+
+#include "core/scene.hpp"
+
+namespace iprism::core {
+
+class DracMetric {
+ public:
+  /// Risk is nonzero once the required deceleration exceeds
+  /// `comfortable_decel` and saturates at `max_decel` (braking demands
+  /// beyond the vehicle's limit mean the crash is unavoidable by braking).
+  explicit DracMetric(double comfortable_decel = 3.5, double max_decel = 8.0);
+
+  /// Required deceleration in m/s^2 (0 when nothing is closing in path).
+  double value(const SceneSnapshot& scene) const;
+
+  /// Normalized risk in [0, 1]: 0 at/below the comfortable rate, 1 at or
+  /// beyond the vehicle's braking limit.
+  double risk(const SceneSnapshot& scene) const;
+
+  double comfortable_decel() const { return comfortable_; }
+  double max_decel() const { return max_; }
+
+ private:
+  double comfortable_;
+  double max_;
+};
+
+}  // namespace iprism::core

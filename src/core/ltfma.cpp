@@ -1,0 +1,27 @@
+#include "core/ltfma.hpp"
+
+#include "common/check.hpp"
+
+namespace iprism::core {
+
+std::size_t ltfma_steps(const std::vector<double>& risk, std::size_t accident_step,
+                        double eps) {
+  IPRISM_CHECK(accident_step < risk.size(), "ltfma: accident_step out of range");
+  std::size_t count = 0;
+  for (std::size_t i = accident_step + 1; i-- > 0;) {
+    if (risk[i] > eps) {
+      ++count;
+    } else {
+      break;
+    }
+  }
+  return count;
+}
+
+double ltfma_seconds(const std::vector<double>& risk, std::size_t accident_step, double dt,
+                     double eps) {
+  IPRISM_CHECK(dt > 0.0, "ltfma: dt must be positive");
+  return static_cast<double>(ltfma_steps(risk, accident_step, eps)) * dt;
+}
+
+}  // namespace iprism::core

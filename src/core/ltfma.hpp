@@ -1,0 +1,25 @@
+// Lead-Time-for-Mitigating-Accident (paper §V-A): the length of the maximal
+// run of consecutive nonzero-risk steps ending at the accident step —
+//
+//   LTFMA = sum_{i<=t_acc} ( 1[risk(i)!=0] * prod_{j=i+1..t_acc} 1[risk(j)!=0] )
+//
+// i.e. how long the metric had been continuously flagging risk when the
+// accident happened.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iprism::core {
+
+/// Number of consecutive steps with risk above `eps`, counting backward
+/// from `accident_step` (inclusive). `accident_step` must index into
+/// `risk` (checked).
+std::size_t ltfma_steps(const std::vector<double>& risk, std::size_t accident_step,
+                        double eps = 1e-9);
+
+/// LTFMA in seconds given the step period.
+double ltfma_seconds(const std::vector<double>& risk, std::size_t accident_step,
+                     double dt, double eps = 1e-9);
+
+}  // namespace iprism::core

@@ -1,0 +1,83 @@
+#include "core/monitor.hpp"
+
+#include "common/check.hpp"
+
+namespace iprism::core {
+
+std::string_view risk_level_name(RiskLevel level) {
+  switch (level) {
+    case RiskLevel::kSafe: return "safe";
+    case RiskLevel::kCaution: return "caution";
+    case RiskLevel::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+RiskMonitor::RiskMonitor(const RiskMonitorParams& params)
+    : params_(params), sti_(params.tube) {
+  IPRISM_CHECK(params.caution_threshold > 0.0 &&
+                   params.critical_threshold > params.caution_threshold,
+               "RiskMonitorParams: thresholds must satisfy 0 < caution < critical");
+  IPRISM_CHECK(params.hysteresis_updates >= 1,
+               "RiskMonitorParams: hysteresis_updates must be >= 1");
+}
+
+void RiskMonitor::reset() {
+  level_ = RiskLevel::kSafe;
+  quiet_streak_ = 0;
+  updates_ = 0;
+}
+
+RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
+  IPRISM_CHECK(world.has_ego(), "RiskMonitor: world has no ego");
+  ++updates_;
+
+  const auto forecasts =
+      cvtr_forecasts(world, params_.tube.horizon, params_.tube.dt);
+
+  Assessment out;
+  const bool want_attribution =
+      params_.attribute_when_elevated && level_ >= RiskLevel::kCaution &&
+      !forecasts.empty();
+  if (want_attribution) {
+    const StiResult full =
+        sti_.compute(world.map(), world.ego().state, world.time(), forecasts);
+    out.sti_combined = full.combined;
+    for (const auto& [id, value] : full.per_actor) {
+      if (value >= out.riskiest_sti) {
+        out.riskiest_sti = value;
+        out.riskiest_actor = id;
+      }
+    }
+  } else {
+    out.sti_combined =
+        sti_.combined(world.map(), world.ego().state, world.time(), forecasts);
+  }
+
+  // Instantaneous level implied by the current STI.
+  RiskLevel implied = RiskLevel::kSafe;
+  if (out.sti_combined >= params_.critical_threshold) {
+    implied = RiskLevel::kCritical;
+  } else if (out.sti_combined >= params_.caution_threshold) {
+    implied = RiskLevel::kCaution;
+  }
+
+  if (implied > level_) {
+    // Escalation is immediate — a warning must not lag the threat.
+    level_ = implied;
+    quiet_streak_ = 0;
+  } else if (implied < level_) {
+    // De-escalation needs a stable quiet period (one level at a time).
+    if (++quiet_streak_ >= params_.hysteresis_updates) {
+      level_ = static_cast<RiskLevel>(static_cast<int>(level_) - 1);
+      quiet_streak_ = 0;
+    }
+  } else {
+    quiet_streak_ = 0;
+  }
+
+  out.level = level_;
+  return out;
+}
+
+}  // namespace iprism::core

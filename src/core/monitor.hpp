@@ -1,0 +1,65 @@
+// Streaming risk monitor: the deployable wrapper around STI that an ADS
+// integration would actually run (paper §V-B takeaway (b): STI is "an
+// effective metric for monitoring and mitigating hazardous situations").
+//
+// Feed it the live world once per step; it computes STI(combined) from
+// CVTR forecasts, maintains a discrete risk level with hysteresis (levels
+// escalate immediately but de-escalate only after a stable quiet period, so
+// a flickering threat cannot toggle alarms), and identifies the riskiest
+// actor while elevated.
+#pragma once
+
+#include <optional>
+
+#include "core/sti.hpp"
+
+namespace iprism::core {
+
+enum class RiskLevel { kSafe = 0, kCaution = 1, kCritical = 2 };
+
+/// Human-readable level name.
+std::string_view risk_level_name(RiskLevel level);
+
+struct RiskMonitorParams {
+  double caution_threshold = 0.15;   ///< STI(combined) entering kCaution
+  double critical_threshold = 0.45;  ///< STI(combined) entering kCritical
+  /// Consecutive below-threshold updates required to de-escalate one level.
+  int hysteresis_updates = 5;
+  /// Compute the per-actor attribution only at kCaution and above (the
+  /// counterfactual tubes are the expensive part).
+  bool attribute_when_elevated = true;
+  ReachTubeParams tube;
+};
+
+class RiskMonitor {
+ public:
+  explicit RiskMonitor(const RiskMonitorParams& params = {});
+
+  struct Assessment {
+    double sti_combined = 0.0;
+    RiskLevel level = RiskLevel::kSafe;
+    /// Riskiest actor id and its STI; empty below kCaution (or when
+    /// attribution is disabled, or there are no actors).
+    std::optional<int> riskiest_actor;
+    double riskiest_sti = 0.0;
+  };
+
+  /// One monitoring step on the live world (checked: world needs an ego).
+  Assessment update(const sim::World& world);
+
+  RiskLevel level() const { return level_; }
+  /// Number of updates processed so far.
+  long updates() const { return updates_; }
+
+  /// Forgets all state (level back to kSafe).
+  void reset();
+
+ private:
+  RiskMonitorParams params_;
+  StiCalculator sti_;
+  RiskLevel level_ = RiskLevel::kSafe;
+  int quiet_streak_ = 0;
+  long updates_ = 0;
+};
+
+}  // namespace iprism::core

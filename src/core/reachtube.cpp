@@ -1,0 +1,224 @@
+#include "core/reachtube.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace iprism::core {
+namespace {
+
+/// Packs a quantized (x, y) cell into a hashable key. Coordinates are
+/// offset to keep them positive over any realistic map extent.
+std::uint64_t xy_key(double x, double y, double cell) {
+  const auto ix = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::floor(x / cell)) + (1LL << 30));
+  const auto iy = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::floor(y / cell)) + (1LL << 30));
+  return (ix << 32) | (iy & 0xFFFFFFFFULL);
+}
+
+/// Per-(x, y)-cell representative bookkeeping: the four extreme states
+/// (min/max speed, min/max heading) that determine the cell's future
+/// spread. Slots index into the slice's state vector.
+struct CellReps {
+  int min_v = -1, max_v = -1, min_h = -1, max_h = -1;
+  double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
+};
+
+}  // namespace
+
+ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
+    : params_(params), model_(params.wheelbase) {
+  IPRISM_CHECK(params.dt > 0.0 && params.horizon > 0.0,
+               "ReachTubeParams: dt and horizon must be positive");
+  IPRISM_CHECK(params.cell_size > 0.0, "ReachTubeParams: cell_size must be positive");
+  IPRISM_CHECK(params.uniform_samples > 0,
+               "ReachTubeParams: uniform_samples must be positive");
+  slices_ = static_cast<int>(std::lround(params.horizon / params.dt));
+  IPRISM_CHECK(slices_ >= 1, "ReachTubeParams: horizon must cover at least one slice");
+
+  const auto& lim = params_.limits;
+  std::vector<double> accels;
+  if (params_.include_braking_boundary) {
+    accels = {lim.accel_min, 0.0, lim.accel_max};
+  } else {
+    accels = {0.0, lim.accel_max};  // the paper's published boundary set
+  }
+  for (double a : accels) {
+    for (double phi : {lim.steer_min, 0.0, lim.steer_max}) {
+      boundary_set_.push_back({a, phi});
+    }
+  }
+}
+
+std::vector<ObstacleTimeline> ReachTubeComputer::sample_obstacles(
+    std::span<const ActorForecast> forecasts, double t0) const {
+  std::vector<ObstacleTimeline> out;
+  out.reserve(forecasts.size());
+  for (const ActorForecast& f : forecasts) {
+    ObstacleTimeline tl;
+    tl.actor_id = f.id;
+    tl.by_slice.reserve(static_cast<std::size_t>(slices_) + 1);
+    for (int j = 0; j <= slices_; ++j) {
+      tl.by_slice.push_back(f.trajectory.footprint_at(t0 + j * params_.dt, f.dims));
+    }
+    out.push_back(std::move(tl));
+  }
+  return out;
+}
+
+bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
+                                 const dynamics::VehicleState& s,
+                                 std::span<const ObstacleTimeline> obstacles,
+                                 std::size_t slice, int exclude_id) const {
+  const geom::OrientedBox ego_box = dynamics::footprint(s, params_.ego_dims);
+  if (!map.contains_box(ego_box, params_.map_margin)) return false;
+  const double ego_r = ego_box.circumradius();
+  for (const ObstacleTimeline& obs : obstacles) {
+    if (obs.actor_id == exclude_id) continue;
+    const geom::OrientedBox& box = obs.by_slice[slice];
+    // Broad phase before the exact SAT test.
+    const double r = ego_r + box.circumradius();
+    if ((box.center() - ego_box.center()).norm_sq() > r * r) continue;
+    if (ego_box.intersects(box)) return false;
+  }
+  return true;
+}
+
+ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
+                                     const dynamics::VehicleState& ego,
+                                     std::span<const ObstacleTimeline> obstacles,
+                                     int exclude_id) const {
+  for (const ObstacleTimeline& obs : obstacles) {
+    IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
+                 "ReachTube: obstacle timeline sliced with different parameters");
+  }
+
+  ReachTube tube;
+  tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
+
+  // Slice 0: the current ego state. If it already collides (or is off-map),
+  // every escape route is gone and the tube is empty.
+  if (!state_ok(map, ego, obstacles, 0, exclude_id)) return tube;
+  tube.slices[0].push_back(ego);
+
+  std::size_t volume_cells = 1;  // the seed's own cell
+  common::Rng rng(params_.sample_seed);
+
+  // Per-slice working set. With dedup on, each (x, y) epsilon cell keeps up
+  // to four representative states (speed/heading extremes); dead cells
+  // (first sample collided or left the map) are cached so the whole cell is
+  // skipped — optimization (1) at cell granularity.
+  std::unordered_map<std::uint64_t, CellReps> cells;
+  std::unordered_set<std::uint64_t> dead;
+  std::unordered_set<std::uint64_t> occupied;  // volume when dedup is off
+  std::vector<dynamics::VehicleState> candidates;
+
+  for (int j = 0; j < slices_; ++j) {
+    const auto& current = tube.slices[static_cast<std::size_t>(j)];
+    auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
+    cells.clear();
+    dead.clear();
+    occupied.clear();
+    candidates.clear();
+
+    const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
+    auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
+      if (candidates.size() >= params_.max_states_per_slice) return;
+      const dynamics::VehicleState ns = model_.step(s, u, params_.dt);
+
+      if (!params_.dedup) {
+        if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) return;
+        candidates.push_back(ns);
+        occupied.insert(xy_key(ns.x, ns.y, params_.cell_size));
+        return;
+      }
+
+      const std::uint64_t key = xy_key(ns.x, ns.y, params_.cell_size);
+      if (dead.contains(key)) return;
+      auto it = cells.find(key);
+      if (it == cells.end()) {
+        if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) {
+          dead.insert(key);
+          return;
+        }
+        const int idx = static_cast<int>(candidates.size());
+        candidates.push_back(ns);
+        CellReps reps;
+        reps.min_v = reps.max_v = reps.min_h = reps.max_h = idx;
+        reps.v_lo = reps.v_hi = ns.speed;
+        reps.h_lo = reps.h_hi = ns.heading;
+        cells.emplace(key, reps);
+        return;
+      }
+      CellReps& reps = it->second;
+      const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
+                            ns.heading < reps.h_lo || ns.heading > reps.h_hi;
+      if (!improves) return;
+      if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) return;
+      const int idx = static_cast<int>(candidates.size());
+      candidates.push_back(ns);
+      if (ns.speed < reps.v_lo) {
+        reps.v_lo = ns.speed;
+        reps.min_v = idx;
+      }
+      if (ns.speed > reps.v_hi) {
+        reps.v_hi = ns.speed;
+        reps.max_v = idx;
+      }
+      if (ns.heading < reps.h_lo) {
+        reps.h_lo = ns.heading;
+        reps.min_h = idx;
+      }
+      if (ns.heading > reps.h_hi) {
+        reps.h_hi = ns.heading;
+        reps.max_h = idx;
+      }
+    };
+
+    for (const dynamics::VehicleState& s : current) {
+      for (const dynamics::Control& u : boundary_set_) try_control(s, u);
+      if (!params_.boundary_controls) {
+        // Algorithm 1's unoptimized form: the extreme controls above plus
+        // uniform samples up to N.
+        const auto& lim = params_.limits;
+        for (int n = static_cast<int>(boundary_set_.size()); n < params_.uniform_samples;
+             ++n) {
+          try_control(s, {rng.uniform(lim.accel_min, lim.accel_max),
+                          rng.uniform(lim.steer_min, lim.steer_max)});
+        }
+      }
+    }
+
+    if (params_.dedup) {
+      volume_cells += cells.size();
+      // Collect the surviving representatives (deduplicating shared slots).
+      std::unordered_set<int> kept;
+      for (const auto& [key, reps] : cells) {
+        for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) kept.insert(idx);
+      }
+      next.reserve(kept.size());
+      for (int idx : kept) next.push_back(candidates[static_cast<std::size_t>(idx)]);
+    } else {
+      volume_cells += occupied.size();
+      next = candidates;
+    }
+    if (next.empty()) break;  // tube pinched off; later slices unreachable
+  }
+
+  tube.volume = static_cast<double>(volume_cells);
+  return tube;
+}
+
+ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
+                                     const dynamics::VehicleState& ego, double t0,
+                                     std::span<const ActorForecast> forecasts,
+                                     int exclude_id) const {
+  const auto obstacles = sample_obstacles(forecasts, t0);
+  return compute(map, ego, obstacles, exclude_id);
+}
+
+}  // namespace iprism::core

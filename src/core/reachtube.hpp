@@ -1,0 +1,107 @@
+// Reach-tube computation — the paper's Algorithm 1.
+//
+// The set of escape routes T_{t:t+k} is approximated by forward-propagating
+// the ego state through the kinematic bicycle model over time slices of
+// size dt, sampling control inputs (a, phi) at every slice, and discarding
+// states that collide with other actors' (forecast) footprints or leave the
+// drivable area. Both of the paper's acceleration optimizations are
+// implemented and individually switchable for the footnote-5 ablation:
+//
+//   (1) epsilon-dedup: a propagated state is ignored when it falls in the
+//       same quantized state-space cell as an already-visited state. Within
+//       each (x, y) epsilon cell, up to four representative states are kept
+//       — the speed and heading extremes — which is exactly the state
+//       diversity that determines the cell's future spread; interior states
+//       add no occupancy;
+//   (2) boundary controls: instead of uniform control sampling, enumerate
+//       the boundary control combinations (the paper's set
+//       {0, a_max} x {phi_min, 0, phi_max}; this library defaults to the
+//       symmetric {a_min, 0, a_max} x {phi_min, 0, phi_max} so braking
+//       escape routes are represented — see DESIGN.md §5).
+//
+// |T| — the tube's "volume" / state-space occupancy [45] — is the number of
+// distinct occupied (x, y) grid cells summed over time slices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/scene.hpp"
+#include "dynamics/bicycle.hpp"
+#include "dynamics/state.hpp"
+#include "roadmap/map.hpp"
+
+namespace iprism::core {
+
+struct ReachTubeParams {
+  double dt = 0.25;          ///< time-slice size (s)
+  double horizon = 3.0;      ///< k: look-ahead (s)
+  double cell_size = 1.0;    ///< epsilon grid in (x, y) for dedup & volume (m)
+  bool dedup = true;         ///< optimization (1)
+  /// Hard cap on states kept per slice (guards worst-case blowup; far above
+  /// what the epsilon grid admits on realistic maps).
+  std::size_t max_states_per_slice = 20000;
+  bool boundary_controls = true;  ///< optimization (2); false = uniform sampling
+  int uniform_samples = 24;  ///< N: samples per state when boundary_controls off
+  bool include_braking_boundary = false;  ///< true = add a_min (ablation); the
+  ///< paper's published set {0, a_max} x {phi_min, 0, phi_max} is the default
+  dynamics::ControlLimits limits{-6.0, 3.0, -0.35, 0.35};
+  dynamics::Dimensions ego_dims{4.5, 2.0};
+  double map_margin = 0.3;   ///< footprint shrink for the drivable-area test (m)
+  double wheelbase = 2.7;
+  std::uint64_t sample_seed = 42;  ///< RNG stream for uniform sampling
+};
+
+/// An actor's footprint at each tube time slice (pre-sampled from its
+/// forecast trajectory).
+struct ObstacleTimeline {
+  int actor_id = -1;
+  std::vector<geom::OrientedBox> by_slice;
+};
+
+/// The computed tube: surviving states per slice plus the occupancy volume.
+struct ReachTube {
+  std::vector<std::vector<dynamics::VehicleState>> slices;
+  /// State-space occupancy |T|: distinct (x, y) cells summed over slices.
+  double volume = 0.0;
+
+  bool empty() const { return volume == 0.0; }
+};
+
+class ReachTubeComputer {
+ public:
+  explicit ReachTubeComputer(const ReachTubeParams& params = {});
+
+  const ReachTubeParams& params() const { return params_; }
+  int slice_count() const { return slices_; }
+
+  /// Samples every forecast's footprint at the tube's slice times
+  /// (t0, t0+dt, ..., t0+k). Shared prep for the counterfactual tubes.
+  std::vector<ObstacleTimeline> sample_obstacles(
+      std::span<const ActorForecast> forecasts, double t0) const;
+
+  /// Computes the tube from `ego` at t0 against the given obstacles.
+  /// `exclude_id` (if >= 0) drops that actor — the counterfactual "what if
+  /// actor i were not present" of Eq. (2).
+  ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+                    std::span<const ObstacleTimeline> obstacles,
+                    int exclude_id = -1) const;
+
+  /// Convenience: forecast sampling + tube in one call.
+  ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+                    double t0, std::span<const ActorForecast> forecasts,
+                    int exclude_id = -1) const;
+
+ private:
+  bool state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleState& s,
+                std::span<const ObstacleTimeline> obstacles, std::size_t slice,
+                int exclude_id) const;
+
+  ReachTubeParams params_;
+  dynamics::BicycleModel model_;
+  int slices_ = 0;
+  std::vector<dynamics::Control> boundary_set_;
+};
+
+}  // namespace iprism::core

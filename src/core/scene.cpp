@@ -1,0 +1,76 @@
+#include "core/scene.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::core {
+
+SceneSnapshot snapshot_of(const sim::World& world) {
+  SceneSnapshot scene;
+  scene.map = &world.map();
+  scene.time = world.time();
+  IPRISM_CHECK(world.has_ego(), "snapshot_of: world has no ego actor");
+  const sim::Actor& ego = world.ego();
+  scene.ego = {ego.id, ego.state, ego.dims};
+  for (const sim::Actor& a : world.actors()) {
+    if (a.id == ego.id) continue;
+    scene.others.push_back({a.id, a.state, a.dims});
+  }
+  return scene;
+}
+
+std::vector<ActorForecast> cvtr_forecasts(const sim::World& world, double horizon,
+                                          double dt) {
+  dynamics::CvtrPredictor predictor;
+  std::vector<ActorForecast> out;
+  const int ego_id = world.has_ego() ? world.ego().id : -1;
+  for (const sim::Actor& a : world.actors()) {
+    if (a.id == ego_id) continue;
+    ActorForecast f;
+    f.id = a.id;
+    f.dims = a.dims;
+    if (world.step_count() > 0) {
+      f.trajectory =
+          predictor.predict(a.prev_state, a.state, world.dt(), world.time(), horizon, dt);
+    } else {
+      f.trajectory = predictor.predict(a.state, world.time(), horizon, dt);
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<InPathActor> closest_in_path(const SceneSnapshot& scene, double max_range) {
+  IPRISM_CHECK(scene.map != nullptr, "closest_in_path: snapshot has no map");
+  const auto& map = *scene.map;
+  const double ego_s = map.arclength(scene.ego.state.position());
+  const double ego_d = map.lateral(scene.ego.state.position());
+  const double corridor = scene.ego.dims.width / 2.0;
+  const double road_len = map.road_length();
+
+  auto lane_speed = [&](const ActorSnapshot& a) {
+    const double lane_heading = map.heading_at(map.arclength(a.state.position()));
+    return a.state.speed * std::cos(geom::angle_diff(a.state.heading, lane_heading));
+  };
+  const double ego_v = lane_speed(scene.ego);
+
+  std::optional<InPathActor> best;
+  for (const ActorSnapshot& other : scene.others) {
+    double offset = map.arclength(other.state.position()) - ego_s;
+    if (offset > road_len / 2.0) offset -= road_len;
+    if (offset < -road_len / 2.0) offset += road_len;
+    if (offset <= 0.0) continue;
+    const double other_d = map.lateral(other.state.position());
+    const double overlap = corridor + other.dims.width / 2.0 - std::abs(other_d - ego_d);
+    if (overlap <= 0.0) continue;
+    const double gap = offset - scene.ego.dims.length / 2.0 - other.dims.length / 2.0;
+    if (gap > max_range) continue;
+    if (!best || gap < best->gap) {
+      best = InPathActor{other.id, gap, ego_v - lane_speed(other)};
+    }
+  }
+  return best;
+}
+
+}  // namespace iprism::core

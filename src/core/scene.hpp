@@ -1,0 +1,64 @@
+// Scene snapshots and forecasts: the inputs to every risk metric.
+//
+// A SceneSnapshot is the instantaneous world state (ego + other actors on a
+// map); an ActorForecast is an actor's future trajectory X_{t:t+k} — either
+// ground truth replayed from a recorded episode (metric characterization,
+// paper §IV-C) or a CVTR prediction (SMC training/inference).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynamics/cvtr.hpp"
+#include "dynamics/state.hpp"
+#include "dynamics/trajectory.hpp"
+#include "roadmap/map.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::core {
+
+/// One actor's pose at snapshot time.
+struct ActorSnapshot {
+  int id = -1;
+  dynamics::VehicleState state;
+  dynamics::Dimensions dims;
+};
+
+/// Instantaneous scene: ego plus all other actors. Non-owning map pointer —
+/// the snapshot must not outlive the map (callers hold the MapPtr).
+struct SceneSnapshot {
+  const roadmap::DrivableMap* map = nullptr;
+  double time = 0.0;
+  ActorSnapshot ego;
+  std::vector<ActorSnapshot> others;
+};
+
+/// An actor's (predicted or replayed) future trajectory with its footprint
+/// dimensions. Trajectory timestamps are absolute.
+struct ActorForecast {
+  int id = -1;
+  dynamics::Trajectory trajectory;
+  dynamics::Dimensions dims;
+};
+
+/// Snapshot of a live simulation world.
+SceneSnapshot snapshot_of(const sim::World& world);
+
+/// CVTR forecasts for every non-ego actor of a world, over `horizon`
+/// seconds sampled at `dt` (uses each actor's previous state for the
+/// yaw-rate estimate).
+std::vector<ActorForecast> cvtr_forecasts(const sim::World& world, double horizon,
+                                          double dt);
+
+/// In-path neighbour relative to the snapshot's ego (same definition as
+/// sim::closest_in_path, but computable from a bare snapshot so metrics can
+/// run offline over recorded traces and dataset logs).
+struct InPathActor {
+  int id = -1;
+  double gap = 0.0;            ///< bumper-to-bumper metres
+  double closing_speed = 0.0;  ///< positive = approaching
+};
+std::optional<InPathActor> closest_in_path(const SceneSnapshot& scene,
+                                           double max_range = 120.0);
+
+}  // namespace iprism::core

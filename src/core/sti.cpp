@@ -1,0 +1,66 @@
+#include "core/sti.hpp"
+
+#include <algorithm>
+
+namespace iprism::core {
+
+double StiResult::max_actor_sti() const {
+  double best = 0.0;
+  for (const auto& [id, sti] : per_actor) best = std::max(best, sti);
+  return best;
+}
+
+StiCalculator::StiCalculator(const ReachTubeParams& params) : tube_(params) {}
+
+namespace {
+
+constexpr int kExcludeAll = -2;  // sentinel: no actor id is ever -2
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
+                                 const dynamics::VehicleState& ego, double t0,
+                                 std::span<const ActorForecast> forecasts) const {
+  const auto obstacles = tube_.sample_obstacles(forecasts, t0);
+
+  StiResult out;
+  out.volume_all = tube_.compute(map, ego, obstacles).volume;
+
+  // |T^{∅}|: tube against an empty obstacle set.
+  out.volume_empty =
+      tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+
+  if (out.volume_empty <= 0.0) {
+    // No escape routes even without actors (ego off the drivable area);
+    // actor-attributable risk is undefined — report zero rather than
+    // dividing by zero.
+    for (const auto& f : forecasts) out.per_actor.emplace_back(f.id, 0.0);
+    return out;
+  }
+
+  out.combined = clamp01((out.volume_empty - out.volume_all) / out.volume_empty);
+
+  out.per_actor.reserve(forecasts.size());
+  for (const ActorForecast& f : forecasts) {
+    const double vol_without = tube_.compute(map, ego, obstacles, f.id).volume;
+    out.per_actor.emplace_back(
+        f.id, clamp01((vol_without - out.volume_all) / out.volume_empty));
+  }
+  return out;
+}
+
+double StiCalculator::combined(const roadmap::DrivableMap& map,
+                               const dynamics::VehicleState& ego, double t0,
+                               std::span<const ActorForecast> forecasts) const {
+  const auto obstacles = tube_.sample_obstacles(forecasts, t0);
+  const double vol_all = tube_.compute(map, ego, obstacles).volume;
+  const double vol_empty =
+      tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  if (vol_empty <= 0.0) return 0.0;
+  (void)kExcludeAll;
+  return clamp01((vol_empty - vol_all) / vol_empty);
+}
+
+}  // namespace iprism::core

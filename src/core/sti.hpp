@@ -1,0 +1,56 @@
+// Safety-Threat Indicator (paper §III-A, Eqs. 1-6).
+//
+// STI quantifies the risk an actor poses to the ego as the counterfactual
+// change in the ego's escape routes:
+//
+//   STI_i        = (|T^{/i}| - |T|) / |T^{∅}|        (Eq. 4)
+//   STI_combined = (|T^{∅}|  - |T|) / |T^{∅}|        (Eq. 5)
+//
+// where |T| is the reach-tube volume with all actors present, |T^{/i}|
+// with actor i removed, and |T^{∅}| with no actors. Values are clamped to
+// [0, 1]: 0 = the actor does not reduce any escape route, 1 = the actor
+// eliminates all of them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/reachtube.hpp"
+#include "core/scene.hpp"
+
+namespace iprism::core {
+
+/// Per-computation result.
+struct StiResult {
+  double combined = 0.0;
+  /// (actor id, STI_i) for every forecast actor, in input order. Empty when
+  /// the calculator was asked for the combined value only.
+  std::vector<std::pair<int, double>> per_actor;
+  double volume_all = 0.0;    ///< |T|
+  double volume_empty = 0.0;  ///< |T^{∅}|
+
+  /// Highest per-actor STI (0 if none).
+  double max_actor_sti() const;
+};
+
+class StiCalculator {
+ public:
+  explicit StiCalculator(const ReachTubeParams& params = {});
+
+  const ReachTubeComputer& tube_computer() const { return tube_; }
+
+  /// Full evaluation: combined STI plus one counterfactual tube per actor
+  /// (Eq. 4 for each i, Eq. 5 for the combined value).
+  StiResult compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+                    double t0, std::span<const ActorForecast> forecasts) const;
+
+  /// Combined STI only (two tubes instead of N+2) — the quantity the SMC
+  /// reward needs at every training step.
+  double combined(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+                  double t0, std::span<const ActorForecast> forecasts) const;
+
+ private:
+  ReachTubeComputer tube_;
+};
+
+}  // namespace iprism::core

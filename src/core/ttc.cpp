@@ -1,0 +1,19 @@
+#include "core/ttc.hpp"
+
+#include <algorithm>
+
+namespace iprism::core {
+
+double TtcMetric::value(const SceneSnapshot& scene) const {
+  const auto cipa = closest_in_path(scene);
+  if (!cipa || cipa->closing_speed <= 0.0) return kInfinity;
+  return std::max(cipa->gap, 0.0) / cipa->closing_speed;
+}
+
+double TtcMetric::risk(const SceneSnapshot& scene) const {
+  const double ttc = value(scene);
+  if (ttc >= threshold_) return 0.0;
+  return std::clamp((threshold_ - ttc) / threshold_, 0.0, 1.0);
+}
+
+}  // namespace iprism::core

@@ -1,0 +1,32 @@
+// Time-to-collision (paper §IV-C): TTC = d / s_r to the closest in-path
+// actor. The risk indicator used for LTFMA is thresholded — risk is nonzero
+// only once TTC falls below `threshold` seconds, matching how TTC is used
+// in forward-collision-warning / ACA systems [11], [13].
+#pragma once
+
+#include <limits>
+
+#include "core/scene.hpp"
+
+namespace iprism::core {
+
+class TtcMetric {
+ public:
+  explicit TtcMetric(double threshold_s = 3.0) : threshold_(threshold_s) {}
+
+  /// Raw TTC in seconds; +infinity when no in-path actor is closing.
+  double value(const SceneSnapshot& scene) const;
+
+  /// Normalized risk in [0, 1]: 0 when TTC >= threshold, rising to 1 as
+  /// TTC -> 0.
+  double risk(const SceneSnapshot& scene) const;
+
+  double threshold() const { return threshold_; }
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  double threshold_;
+};
+
+}  // namespace iprism::core

@@ -1,0 +1,149 @@
+#include "dataset/cases.hpp"
+
+#include "roadmap/straight_road.hpp"
+#include "sim/behaviors.hpp"
+
+namespace iprism::dataset {
+namespace {
+
+dynamics::VehicleState make_state(double x, double y, double heading, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.heading = heading;
+  s.speed = speed;
+  return s;
+}
+
+sim::Actor scripted(const dynamics::VehicleState& state, const dynamics::Dimensions& dims,
+                    std::unique_ptr<sim::Behavior> behavior) {
+  sim::Actor a;
+  a.kind = sim::ActorKind::kVehicle;
+  a.state = state;
+  a.dims = dims;
+  a.behavior = std::move(behavior);
+  return a;
+}
+
+sim::LaneFollowBehavior::Params polite(int lane, double speed) {
+  sim::LaneFollowBehavior::Params p;
+  p.lane = lane;
+  p.target_speed = speed;
+  p.keep_gap = true;
+  p.time_headway = 1.8;
+  return p;
+}
+
+CaseScene record_case(std::string name, std::string description, sim::World world,
+                      double seconds, int analysis_step, double ego_speed, int ego_lane) {
+  sim::LaneFollowBehavior ego_behavior(polite(ego_lane, ego_speed));
+  CaseScene scene{std::move(name), std::move(description),
+                  record_log(std::move(world), ego_behavior, seconds), analysis_step};
+  return scene;
+}
+
+}  // namespace
+
+std::vector<CaseScene> build_case_scenes() {
+  std::vector<CaseScene> scenes;
+  const double kLaneW = 3.5;
+
+  // (a) Pedestrian crossing: a pedestrian steps into the road ahead of the
+  // ego, forcing it to yield.
+  {
+    auto map = std::make_shared<roadmap::StraightRoad>(2, kLaneW, 200.0);
+    sim::World world(map, 0.1);
+    world.add_ego(make_state(20.0, 0.5 * kLaneW, 0.0, 7.0));
+    sim::PedestrianCrossBehavior::Params pb;
+    pb.trigger_distance = 16.0;  // steps out late, forcing a hard yield
+    pb.walk_speed = 1.0;
+    pb.walk_heading = M_PI / 2.0;
+    sim::Actor ped;
+    ped.kind = sim::ActorKind::kPedestrian;
+    ped.dims = {0.6, 0.6};
+    ped.state = make_state(58.0, 0.4, M_PI / 2.0, 0.0);  // kerb side, facing across
+    ped.behavior = std::make_unique<sim::PedestrianCrossBehavior>(pb);
+    world.add_actor(std::move(ped));
+    // A benign car far ahead in the other lane for contrast.
+    world.add_actor(scripted(make_state(95.0, 1.5 * kLaneW, 0.0, 7.0), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(1, 7.0))));
+    scenes.push_back(record_case(
+        "pedestrian_crossing",
+        "A pedestrian crossing the street forces the ego to stop and yield.",
+        std::move(world), 8.0, /*analysis_step=*/45, 7.0, 0));
+  }
+
+  // (b) Oversized actor: a wide truck in the adjacent lane partially
+  // occupies the ego lane without ever being on a collision path.
+  {
+    auto map = std::make_shared<roadmap::StraightRoad>(2, kLaneW, 250.0);
+    sim::World world(map, 0.1);
+    world.add_ego(make_state(30.0, 0.5 * kLaneW, 0.0, 7.0));
+    // Scripted as behavior-free: constant speed, straight — it holds its
+    // (encroaching) lateral offset.
+    sim::Actor truck;
+    truck.kind = sim::ActorKind::kVehicle;
+    truck.dims = {9.0, 3.4};
+    truck.state = make_state(38.0, 1.5 * kLaneW - 0.9, 0.0, 7.0);
+    world.add_actor(std::move(truck));
+    // Normal car well ahead in the ego lane.
+    world.add_actor(scripted(make_state(80.0, 0.5 * kLaneW, 0.0, 7.5), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(0, 7.5))));
+    scenes.push_back(record_case(
+        "oversized_actor",
+        "An oversized truck straddles the lane line; no trajectory intersects the "
+        "ego's, yet it blocks the ego's escape routes.",
+        std::move(world), 8.0, /*analysis_step=*/20, 7.0, 0));
+  }
+
+  // (c) Cluttered street: a badly parked car nosing into the ego lane, one
+  // actor leaving the ego lane behind, one entering it ahead.
+  {
+    auto map = std::make_shared<roadmap::StraightRoad>(3, kLaneW, 250.0);
+    sim::World world(map, 0.1);
+    world.add_ego(make_state(30.0, 1.5 * kLaneW, 0.0, 6.5));
+    // Badly parked: stationary, angled into the ego lane.
+    sim::Actor parked;
+    parked.kind = sim::ActorKind::kVehicle;
+    parked.state = make_state(72.0, 0.5 * kLaneW + 1.1, 0.25, 0.0);
+    world.add_actor(std::move(parked));
+    // Exiting actor: behind the ego, drifting to the outer lane.
+    world.add_actor(scripted(make_state(16.0, 1.5 * kLaneW, 0.0, 6.0), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(2, 6.0))));
+    // Entering actor: ahead in the outer lane, merging into the ego lane.
+    world.add_actor(scripted(make_state(58.0, 2.5 * kLaneW, 0.0, 5.5), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(1, 5.5))));
+    scenes.push_back(record_case(
+        "cluttered_street",
+        "Actors entering and exiting the ego lane plus a badly parked car "
+        "partially blocking it.",
+        std::move(world), 8.0, /*analysis_step=*/25, 6.5, 1));
+  }
+
+  // (d) Actor pulling out of a parking spot into the ego lane while two
+  // actors occupy the top (escape) lane.
+  {
+    auto map = std::make_shared<roadmap::StraightRoad>(2, kLaneW, 250.0);
+    sim::World world(map, 0.1);
+    world.add_ego(make_state(25.0, 0.5 * kLaneW, 0.0, 6.5));
+    // Pulling out: creeping from the kerb into the ego lane at an angle.
+    sim::Actor puller;
+    puller.kind = sim::ActorKind::kVehicle;
+    puller.state = make_state(60.0, 0.35 * kLaneW, 0.35, 0.8);
+    world.add_actor(std::move(puller));
+    // Two actors in the top lane — they block the obvious escape.
+    world.add_actor(scripted(make_state(40.0, 1.5 * kLaneW, 0.0, 6.5), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(1, 6.5))));
+    world.add_actor(scripted(make_state(58.0, 1.5 * kLaneW, 0.0, 6.5), {4.5, 2.0},
+                             std::make_unique<sim::LaneFollowBehavior>(polite(1, 6.5))));
+    scenes.push_back(record_case(
+        "actor_pulling_out",
+        "A parked car pulls out into the ego lane; the top lane the ego might "
+        "use is occupied by two through actors.",
+        std::move(world), 8.0, /*analysis_step=*/25, 6.5, 0));
+  }
+
+  return scenes;
+}
+
+}  // namespace iprism::dataset

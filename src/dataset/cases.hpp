@@ -1,0 +1,31 @@
+// The four hand-built case-study scenes of paper Fig. 7 — real-world
+// situations where STI's ranking of risky actors disagrees with
+// closest-actor / in-path heuristics:
+//
+//   (a) pedestrian crossing      — crossing pedestrian dominates the risk
+//   (b) oversized actor          — a wide truck partially in the ego lane,
+//                                  never on a collision path, still risky
+//   (c) cluttered street         — badly-parked + entering + exiting actors
+//   (d) actor pulling out        — parked car nosing into the ego lane plus
+//                                  two actors occupying the escape lane
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/log.hpp"
+
+namespace iprism::dataset {
+
+struct CaseScene {
+  std::string name;
+  std::string description;
+  TrafficLog log;
+  /// Recorded step at which the paper-style per-actor STI ranking is read.
+  int analysis_step = 0;
+};
+
+/// Builds all four Fig. 7 scenes (deterministic).
+std::vector<CaseScene> build_case_scenes();
+
+}  // namespace iprism::dataset

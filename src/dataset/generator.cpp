@@ -1,0 +1,105 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "roadmap/straight_road.hpp"
+#include "sim/behaviors.hpp"
+
+namespace iprism::dataset {
+namespace {
+
+dynamics::VehicleState lane_state(const roadmap::DrivableMap& map, int lane, double s,
+                                  double speed) {
+  dynamics::VehicleState st;
+  const geom::Vec2 pos = map.point_at(s, map.lane_center_offset(lane));
+  st.x = pos.x;
+  st.y = pos.y;
+  st.heading = map.heading_at(s);
+  st.speed = speed;
+  return st;
+}
+
+}  // namespace
+
+std::vector<TrafficLog> generate_dataset(const DatasetParams& params) {
+  IPRISM_CHECK(params.log_count > 0, "generate_dataset: log_count must be positive");
+  IPRISM_CHECK(params.min_actors >= 1 && params.max_actors >= params.min_actors,
+               "generate_dataset: bad actor count range");
+  common::Rng master(params.seed);
+  std::vector<TrafficLog> logs;
+  logs.reserve(static_cast<std::size_t>(params.log_count));
+
+  for (int i = 0; i < params.log_count; ++i) {
+    common::Rng rng = master.fork(static_cast<std::uint64_t>(i));
+    auto map = std::make_shared<roadmap::StraightRoad>(params.lanes, params.lane_width,
+                                                       params.road_length);
+    sim::World world(map, params.dt);
+
+    const int ego_lane = rng.uniform_int(0, params.lanes - 1);
+    const double ego_speed = rng.uniform(6.0, 9.5);
+    const double ego_s = rng.uniform(20.0, 60.0);
+    world.add_ego(lane_state(*map, ego_lane, ego_s, ego_speed));
+
+    // Rule-abiding traffic: dense but with per-lane spacing no human driver
+    // would violate (rear-to-front gaps of at least ~14 m at spawn).
+    std::vector<double> last_s(static_cast<std::size_t>(params.lanes), -1e9);
+    last_s[static_cast<std::size_t>(ego_lane)] = ego_s;
+    const int actor_count = rng.uniform_int(params.min_actors, params.max_actors);
+    double next_s = ego_s - rng.uniform(15.0, 35.0);
+    for (int a = 0; a < actor_count; ++a) {
+      const int lane = rng.uniform_int(0, params.lanes - 1);
+      next_s += rng.uniform(14.0, 45.0);
+      const double s_pos = std::max(next_s, last_s[static_cast<std::size_t>(lane)] + 14.0);
+      last_s[static_cast<std::size_t>(lane)] = s_pos;
+      sim::LaneFollowBehavior::Params lf;
+      lf.lane = lane;
+      lf.target_speed = rng.uniform(5.0, 10.0);
+      lf.keep_gap = true;
+      lf.time_headway = rng.uniform(1.2, 2.2);
+      sim::Actor npc;
+      npc.kind = sim::ActorKind::kVehicle;
+      npc.state = lane_state(*map, lane, s_pos, lf.target_speed);
+      npc.behavior = std::make_unique<sim::LaneFollowBehavior>(lf);
+      world.add_actor(std::move(npc));
+    }
+
+    // A small fraction of logs get one mildly risky interaction: a vehicle
+    // that merges into the ego lane with a modest gap.
+    if (rng.bernoulli(params.risky_fraction)) {
+      sim::CutInBehavior::Params cb;
+      cb.start_lane = ego_lane > 0 ? ego_lane - 1 : ego_lane + 1;
+      cb.target_lane = ego_lane;
+      cb.mode = sim::CutInBehavior::TriggerMode::kSelfAheadOfEgo;
+      cb.trigger_offset = rng.uniform(10.0, 16.0);  // tight but human-safe
+      cb.cruise_speed = ego_speed + rng.uniform(1.0, 2.5);
+      cb.post_speed = ego_speed - rng.uniform(0.0, 1.0);
+      cb.lateral_speed = rng.uniform(0.7, 1.2);
+      // Spawn the merger behind the ego with clearance from any traffic
+      // already occupying its lane.
+      const double merger_s =
+          std::min(ego_s - rng.uniform(10.0, 20.0),
+                   last_s[static_cast<std::size_t>(cb.start_lane)] == -1e9
+                       ? 1e9
+                       : last_s[static_cast<std::size_t>(cb.start_lane)] - 14.0);
+      sim::Actor npc;
+      npc.kind = sim::ActorKind::kVehicle;
+      npc.state = lane_state(*map, cb.start_lane, merger_s, cb.cruise_speed);
+      npc.behavior = std::make_unique<sim::CutInBehavior>(cb);
+      world.add_actor(std::move(npc));
+    }
+
+    // The recording ego drives politely too.
+    sim::LaneFollowBehavior::Params ego_lf;
+    ego_lf.lane = ego_lane;
+    ego_lf.target_speed = ego_speed;
+    ego_lf.keep_gap = true;
+    ego_lf.time_headway = 1.8;
+    sim::LaneFollowBehavior ego_behavior(ego_lf);
+
+    logs.push_back(record_log(std::move(world), ego_behavior, params.seconds));
+  }
+  return logs;
+}
+
+}  // namespace iprism::dataset

@@ -1,0 +1,93 @@
+#include "dataset/log.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace iprism::dataset {
+
+TrafficLog::TrafficLog(roadmap::MapPtr map, double dt) : map_(std::move(map)), dt_(dt) {
+  IPRISM_CHECK(map_ != nullptr, "TrafficLog: map must not be null");
+  IPRISM_CHECK(dt > 0.0, "TrafficLog: dt must be positive");
+}
+
+void TrafficLog::add_actor(LoggedActor actor) {
+  IPRISM_CHECK(!actor.trajectory.empty(), "TrafficLog: actor trajectory is empty");
+  if (actor.is_ego) {
+    for (const auto& a : actors_) IPRISM_CHECK(!a.is_ego, "TrafficLog: only one ego");
+  }
+  actors_.push_back(std::move(actor));
+}
+
+int TrafficLog::samples() const {
+  if (actors_.empty()) return 0;
+  std::size_t n = std::numeric_limits<std::size_t>::max();
+  for (const auto& a : actors_) n = std::min(n, a.trajectory.size());
+  return static_cast<int>(n);
+}
+
+const LoggedActor& TrafficLog::ego() const {
+  for (const auto& a : actors_) {
+    if (a.is_ego) return a;
+  }
+  IPRISM_CHECK(false, "TrafficLog: no ego actor");
+  std::abort();  // unreachable; IPRISM_CHECK throws
+}
+
+core::SceneSnapshot TrafficLog::snapshot_at(int step) const {
+  IPRISM_CHECK(step >= 0 && step < samples(), "TrafficLog: step out of range");
+  core::SceneSnapshot scene;
+  scene.map = map_.get();
+  const double t = step * dt_;
+  scene.time = t;
+  for (const LoggedActor& a : actors_) {
+    if (a.is_ego) {
+      scene.ego = {a.id, a.trajectory.at(t), a.dims};
+    } else {
+      scene.others.push_back({a.id, a.trajectory.at(t), a.dims});
+    }
+  }
+  return scene;
+}
+
+std::vector<core::ActorForecast> TrafficLog::forecasts_at(int step) const {
+  IPRISM_CHECK(step >= 0 && step < samples(), "TrafficLog: step out of range");
+  std::vector<core::ActorForecast> out;
+  for (const LoggedActor& a : actors_) {
+    if (a.is_ego) continue;
+    core::ActorForecast f{a.id, a.trajectory, a.dims};
+    // Continue past the recording's end so late-log steps still see moving
+    // actors as moving (same truncation fix as EpisodeResult).
+    dynamics::extend_with_constant_velocity(f.trajectory, 6.0, 0.25);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+TrafficLog record_log(sim::World world, sim::Behavior& ego_behavior, double seconds) {
+  IPRISM_CHECK(world.has_ego(), "record_log: world has no ego");
+  TrafficLog log(world.map_ptr(), world.dt());
+
+  std::vector<LoggedActor> slots;
+  for (const sim::Actor& a : world.actors()) {
+    LoggedActor la;
+    la.id = a.id;
+    la.is_ego = a.kind == sim::ActorKind::kEgo;
+    la.dims = a.dims;
+    la.trajectory.append(world.time(), a.state);
+    slots.push_back(std::move(la));
+  }
+
+  const int steps = static_cast<int>(seconds / world.dt());
+  for (int i = 0; i < steps; ++i) {
+    const dynamics::Control ego_u = ego_behavior.decide(world.ego(), world);
+    world.step(ego_u);
+    for (LoggedActor& la : slots) la.trajectory.append(world.time(), world.actor(la.id).state);
+  }
+
+  for (LoggedActor& la : slots) log.add_actor(std::move(la));
+  return log;
+}
+
+}  // namespace iprism::dataset

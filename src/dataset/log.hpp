@@ -1,0 +1,52 @@
+// Recorded traffic logs — the data model of the synthetic "real-world
+// dataset" that substitutes for Argoverse (paper §IV-B2; substitution
+// documented in DESIGN.md §2). A log is a map plus per-actor trajectories
+// sampled on a fixed clock, with one actor designated as the recording ego.
+#pragma once
+
+#include <vector>
+
+#include "core/scene.hpp"
+#include "dynamics/trajectory.hpp"
+#include "roadmap/map.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::dataset {
+
+struct LoggedActor {
+  int id = -1;
+  bool is_ego = false;
+  dynamics::Dimensions dims;
+  dynamics::Trajectory trajectory;
+};
+
+class TrafficLog {
+ public:
+  TrafficLog(roadmap::MapPtr map, double dt);
+
+  void add_actor(LoggedActor actor);
+
+  const roadmap::DrivableMap& map() const { return *map_; }
+  roadmap::MapPtr map_ptr() const { return map_; }
+  double dt() const { return dt_; }
+  /// Number of recorded time steps (min over actors; 0 when empty).
+  int samples() const;
+  const std::vector<LoggedActor>& actors() const { return actors_; }
+  const LoggedActor& ego() const;
+
+  /// Scene snapshot at a recorded step.
+  core::SceneSnapshot snapshot_at(int step) const;
+  /// Ground-truth forecasts (the recorded futures) at a step.
+  std::vector<core::ActorForecast> forecasts_at(int step) const;
+
+ private:
+  roadmap::MapPtr map_;
+  double dt_;
+  std::vector<LoggedActor> actors_;
+};
+
+/// Records a world for `seconds`, driving the ego with the given behavior
+/// (dataset logs are human-driven: the ego is just another scripted actor).
+TrafficLog record_log(sim::World world, sim::Behavior& ego_behavior, double seconds);
+
+}  // namespace iprism::dataset

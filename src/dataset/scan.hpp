@@ -1,0 +1,38 @@
+// STI scan over a log corpus (paper §V-D / Fig. 6): evaluates per-actor and
+// combined STI at every sampled step of every log, producing the percentile
+// characterization and per-scene actor rankings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/sti.hpp"
+#include "dataset/log.hpp"
+
+namespace iprism::dataset {
+
+struct StiScanResult {
+  /// STI of every (actor, step) pair across the corpus.
+  std::vector<double> actor_sti;
+  /// Combined STI of every step across the corpus.
+  std::vector<double> combined_sti;
+
+  double actor_percentile(double q) const;
+  double combined_percentile(double q) const;
+  /// Fraction of per-actor samples that are (numerically) zero.
+  double actor_zero_fraction() const;
+};
+
+/// Scans all logs, evaluating STI every `stride` steps.
+StiScanResult scan_logs(std::span<const TrafficLog> logs, const core::StiCalculator& sti,
+                        int stride = 5);
+
+/// Per-actor STI ranking of one scene step, highest risk first.
+struct RankedActor {
+  int id = -1;
+  double sti = 0.0;
+};
+std::vector<RankedActor> rank_actors(const TrafficLog& log, int step,
+                                     const core::StiCalculator& sti);
+
+}  // namespace iprism::dataset

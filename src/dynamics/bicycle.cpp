@@ -1,0 +1,38 @@
+#include "dynamics/bicycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::dynamics {
+
+BicycleModel::BicycleModel(double wheelbase, double max_speed)
+    : wheelbase_(wheelbase), max_speed_(max_speed) {
+  IPRISM_CHECK(wheelbase > 0.0, "BicycleModel: wheelbase must be positive");
+  IPRISM_CHECK(max_speed > 0.0, "BicycleModel: max_speed must be positive");
+}
+
+VehicleState BicycleModel::step(const VehicleState& s, const Control& u, double dt) const {
+  // Speed first: if braking reaches standstill inside the step, split the
+  // step at the stop time so the vehicle does not reverse.
+  double v0 = s.speed;
+  double v1 = std::clamp(v0 + u.accel * dt, 0.0, max_speed_);
+  double move_dt = dt;
+  if (v1 == 0.0 && v0 > 0.0 && u.accel < 0.0) {
+    move_dt = std::min(dt, v0 / -u.accel);
+  }
+  const double v_mid = 0.5 * (v0 + v1);
+
+  const double yaw_rate = v_mid / wheelbase_ * std::tan(u.steer);
+  const double heading_mid = s.heading + 0.5 * yaw_rate * move_dt;
+
+  VehicleState out;
+  out.x = s.x + v_mid * std::cos(heading_mid) * move_dt;
+  out.y = s.y + v_mid * std::sin(heading_mid) * move_dt;
+  out.heading = geom::wrap_angle(s.heading + yaw_rate * move_dt);
+  out.speed = v1;
+  return out;
+}
+
+}  // namespace iprism::dynamics

@@ -1,0 +1,34 @@
+// Kinematic bicycle model (paper §III-A, refs [42]-[44]): the forward model
+// used both to propagate reach-tube samples and to integrate vehicle motion
+// in the simulator. Parameters follow the passenger-car configuration used
+// by [46] (wheelbase ~2.7 m, steering |phi| <= 0.5 rad).
+#pragma once
+
+#include "dynamics/state.hpp"
+
+namespace iprism::dynamics {
+
+/// Kinematic bicycle:
+///   x'     = v cos(theta)
+///   y'     = v sin(theta)
+///   theta' = v / L * tan(phi)
+///   v'     = a            (v clamped at 0 and at v_max)
+class BicycleModel {
+ public:
+  /// wheelbase must be positive; v_max bounds the speed reachable under
+  /// sustained acceleration (physical top speed, not a control limit).
+  explicit BicycleModel(double wheelbase = 2.7, double max_speed = 40.0);
+
+  double wheelbase() const { return wheelbase_; }
+  double max_speed() const { return max_speed_; }
+
+  /// Integrates one step of length dt (midpoint rule on heading so that
+  /// constant-steer arcs are followed accurately at simulator step sizes).
+  VehicleState step(const VehicleState& s, const Control& u, double dt) const;
+
+ private:
+  double wheelbase_;
+  double max_speed_;
+};
+
+}  // namespace iprism::dynamics

@@ -1,0 +1,30 @@
+// Constant-acceleration trajectory predictor: the classical alternative to
+// CVTR (paper §IV-C). Estimates longitudinal acceleration from the two most
+// recent observations and holds it (speed clamped at zero), with the yaw
+// rate held as in CVTR. Used by the prediction-model ablation
+// (bench/ablation_prediction) to quantify how much the choice of predictor
+// moves online STI away from its ground-truth value.
+#pragma once
+
+#include "dynamics/trajectory.hpp"
+
+namespace iprism::dynamics {
+
+class ConstantAccelPredictor {
+ public:
+  /// Single-observation form: zero acceleration and yaw rate (degenerates
+  /// to straight constant-velocity motion).
+  Trajectory predict(const VehicleState& now, double now_time, double horizon,
+                     double dt) const;
+
+  /// Two-observation form: accel = (v_now - v_prev) / obs_dt, yaw rate from
+  /// the heading difference. obs_dt/horizon/dt must be positive (checked).
+  Trajectory predict(const VehicleState& prev, const VehicleState& now, double obs_dt,
+                     double now_time, double horizon, double dt) const;
+
+ private:
+  Trajectory roll(const VehicleState& now, double accel, double yaw_rate, double now_time,
+                  double horizon, double dt) const;
+};
+
+}  // namespace iprism::dynamics

@@ -1,0 +1,40 @@
+#include "dynamics/cvtr.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::dynamics {
+
+Trajectory CvtrPredictor::predict(const VehicleState& now, double now_time, double horizon,
+                                  double dt) const {
+  return roll(now, 0.0, now_time, horizon, dt);
+}
+
+Trajectory CvtrPredictor::predict(const VehicleState& prev, const VehicleState& now,
+                                  double obs_dt, double now_time, double horizon,
+                                  double dt) const {
+  IPRISM_CHECK(obs_dt > 0.0, "CvtrPredictor: obs_dt must be positive");
+  const double yaw_rate = geom::angle_diff(now.heading, prev.heading) / obs_dt;
+  return roll(now, yaw_rate, now_time, horizon, dt);
+}
+
+Trajectory CvtrPredictor::roll(const VehicleState& now, double yaw_rate, double now_time,
+                               double horizon, double dt) const {
+  IPRISM_CHECK(dt > 0.0 && horizon > 0.0, "CvtrPredictor: dt and horizon must be positive");
+  Trajectory traj;
+  VehicleState s = now;
+  traj.append(now_time, s);
+  const int steps = static_cast<int>(std::ceil(horizon / dt));
+  for (int i = 1; i <= steps; ++i) {
+    // Exact integration of constant speed + constant yaw rate.
+    const double heading_mid = s.heading + 0.5 * yaw_rate * dt;
+    s.x += s.speed * std::cos(heading_mid) * dt;
+    s.y += s.speed * std::sin(heading_mid) * dt;
+    s.heading = geom::wrap_angle(s.heading + yaw_rate * dt);
+    traj.append(now_time + i * dt, s);
+  }
+  return traj;
+}
+
+}  // namespace iprism::dynamics

@@ -1,0 +1,30 @@
+// Constant-Velocity-and-Turn-Rate predictor (paper §IV-C): the trajectory
+// prediction model used for other actors during SMC training and inference,
+// where ground-truth futures are unavailable.
+#pragma once
+
+#include "dynamics/trajectory.hpp"
+
+namespace iprism::dynamics {
+
+/// Predicts a future trajectory by holding speed and yaw rate constant.
+/// The yaw rate is estimated from the two most recent observed headings; a
+/// single observation predicts straight-line motion.
+class CvtrPredictor {
+ public:
+  /// Predict from a single state (yaw rate assumed 0).
+  /// dt/horizon must be positive (checked).
+  Trajectory predict(const VehicleState& now, double now_time, double horizon,
+                     double dt) const;
+
+  /// Predict with a yaw-rate estimate from the previous state, observed
+  /// `obs_dt` seconds before `now`.
+  Trajectory predict(const VehicleState& prev, const VehicleState& now, double obs_dt,
+                     double now_time, double horizon, double dt) const;
+
+ private:
+  Trajectory roll(const VehicleState& now, double yaw_rate, double now_time, double horizon,
+                  double dt) const;
+};
+
+}  // namespace iprism::dynamics

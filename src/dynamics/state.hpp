@@ -1,0 +1,51 @@
+// Vehicle state and control types shared by the simulator, the reach-tube
+// computation, and the agents. Matches the paper's state definition
+// x = [x, y, theta, v] (§III-A).
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace iprism::dynamics {
+
+/// Kinematic vehicle state: rear-axle reference position, heading, speed.
+/// Speed is non-negative (the library models forward driving; braking
+/// saturates at standstill).
+struct VehicleState {
+  double x = 0.0;        ///< metres, world frame
+  double y = 0.0;        ///< metres, world frame
+  double heading = 0.0;  ///< radians, CCW from +x
+  double speed = 0.0;    ///< metres / second, >= 0
+
+  geom::Vec2 position() const { return {x, y}; }
+  geom::Vec2 velocity() const { return geom::heading_vec(heading) * speed; }
+};
+
+/// Control input u = (a, phi): longitudinal acceleration and front-wheel
+/// steering angle (the bicycle model's "turning angle").
+struct Control {
+  double accel = 0.0;  ///< metres / second^2
+  double steer = 0.0;  ///< radians
+};
+
+/// Box constraints on the control input, [a_min, a_max] x [phi_min, phi_max].
+struct ControlLimits {
+  double accel_min = -6.0;
+  double accel_max = 3.0;
+  double steer_min = -0.5;
+  double steer_max = 0.5;
+
+  Control clamp(const Control& u) const {
+    return {std::clamp(u.accel, accel_min, accel_max),
+            std::clamp(u.steer, steer_min, steer_max)};
+  }
+};
+
+/// Physical footprint of an actor (vehicle or pedestrian), metres.
+struct Dimensions {
+  double length = 4.5;
+  double width = 2.0;
+};
+
+}  // namespace iprism::dynamics

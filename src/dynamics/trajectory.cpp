@@ -1,0 +1,67 @@
+#include "dynamics/trajectory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace iprism::dynamics {
+
+void Trajectory::append(double t, const VehicleState& s) {
+  IPRISM_CHECK(samples_.empty() || t > samples_.back().t,
+               "Trajectory: timestamps must be strictly increasing");
+  samples_.push_back({t, s});
+}
+
+double Trajectory::start_time() const {
+  IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
+  return samples_.front().t;
+}
+
+double Trajectory::end_time() const {
+  IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
+  return samples_.back().t;
+}
+
+VehicleState Trajectory::at(double t) const {
+  IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
+  if (t <= samples_.front().t) return samples_.front().state;
+  if (t >= samples_.back().t) return samples_.back().state;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const TimedState& a, double time) { return a.t < time; });
+  const TimedState& hi = *it;
+  const TimedState& lo = *(it - 1);
+  const double u = (t - lo.t) / (hi.t - lo.t);
+  VehicleState out;
+  out.x = lo.state.x + u * (hi.state.x - lo.state.x);
+  out.y = lo.state.y + u * (hi.state.y - lo.state.y);
+  out.heading = geom::wrap_angle(lo.state.heading +
+                                 u * geom::angle_diff(hi.state.heading, lo.state.heading));
+  out.speed = lo.state.speed + u * (hi.state.speed - lo.state.speed);
+  return out;
+}
+
+geom::OrientedBox Trajectory::footprint_at(double t, const Dimensions& dims) const {
+  return footprint(at(t), dims);
+}
+
+geom::OrientedBox footprint(const VehicleState& s, const Dimensions& dims) {
+  return geom::OrientedBox(s.position(), dims.length / 2.0, dims.width / 2.0, s.heading);
+}
+
+void extend_with_constant_velocity(Trajectory& trajectory, double seconds, double dt) {
+  IPRISM_CHECK(!trajectory.empty(), "extend_with_constant_velocity: empty trajectory");
+  IPRISM_CHECK(seconds > 0.0 && dt > 0.0,
+               "extend_with_constant_velocity: seconds and dt must be positive");
+  const double t_end = trajectory.end_time();
+  VehicleState s = trajectory.at(t_end);
+  const geom::Vec2 vel = s.velocity();
+  const int steps = static_cast<int>(std::ceil(seconds / dt));
+  for (int i = 1; i <= steps; ++i) {
+    s.x += vel.x * dt;
+    s.y += vel.y * dt;
+    trajectory.append(t_end + i * dt, s);
+  }
+}
+
+}  // namespace iprism::dynamics

@@ -1,0 +1,59 @@
+// Time-stamped trajectories: an actor's realized or predicted motion
+// X_{t:t+k} (paper §II). Supports interpolation at arbitrary times and
+// footprint extraction, which the reach-tube computation consumes as
+// per-time-slice obstacles.
+#pragma once
+
+#include <vector>
+
+#include "dynamics/state.hpp"
+#include "geom/obb.hpp"
+
+namespace iprism::dynamics {
+
+/// One trajectory sample.
+struct TimedState {
+  double t = 0.0;
+  VehicleState state;
+};
+
+/// A time-ordered sequence of states (strictly increasing timestamps,
+/// checked on append). Queries before the first sample return the first
+/// state; queries after the last sample hold the last state (actors are
+/// assumed stationary in their final pose beyond the recorded horizon).
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  void append(double t, const VehicleState& s);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<TimedState>& samples() const { return samples_; }
+  double start_time() const;
+  double end_time() const;
+
+  /// Linear interpolation in position/speed, shortest-arc in heading;
+  /// clamped at both ends. Requires a non-empty trajectory (checked).
+  VehicleState at(double t) const;
+
+  /// Oriented footprint of an actor with the given dimensions at time t,
+  /// with the state position as the box centre.
+  geom::OrientedBox footprint_at(double t, const Dimensions& dims) const;
+
+ private:
+  std::vector<TimedState> samples_;
+};
+
+/// Footprint of a state (box centred on the state's position).
+geom::OrientedBox footprint(const VehicleState& s, const Dimensions& dims);
+
+/// Appends a constant-velocity continuation of `seconds` seconds (sampled
+/// every `dt`) after the trajectory's last sample. Used when a *recorded*
+/// trajectory must serve as a future forecast beyond the recording's end —
+/// without it, a moving actor would appear to freeze at the final sample
+/// (a pure truncation artifact). Requires a non-empty trajectory and
+/// positive seconds/dt (checked).
+void extend_with_constant_velocity(Trajectory& trajectory, double seconds, double dt);
+
+}  // namespace iprism::dynamics

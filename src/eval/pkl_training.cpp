@@ -1,0 +1,56 @@
+#include "eval/pkl_training.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace iprism::eval {
+
+std::vector<core::PklTrainingExample> collect_pkl_examples(const EpisodeResult& episode,
+                                                           const core::PklMetric& metric,
+                                                           int stride) {
+  IPRISM_CHECK(stride >= 1, "collect_pkl_examples: stride must be >= 1");
+  std::vector<core::PklTrainingExample> out;
+  const double horizon = 2.5;  // matches PklParams default
+  const int horizon_steps = static_cast<int>(horizon / episode.dt);
+
+  const ActorTrace& ego = episode.ego_trace();
+
+  for (int step = 0; step + horizon_steps < episode.samples; step += stride) {
+    const auto scene = episode.snapshot_at(step);
+    const auto forecasts = episode.ground_truth_forecasts(step);
+    const auto candidates = metric.roll_candidates(*scene.map, scene);
+    if (candidates.empty()) continue;
+
+    // Expert label: the candidate closest to the realized ego motion,
+    // compared at three probe times across the horizon.
+    std::size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      double dist = 0.0;
+      for (double frac : {0.33, 0.66, 1.0}) {
+        const double t = scene.time + frac * horizon;
+        const auto planned = candidates[c].trajectory.at(t);
+        const auto realized = ego.trajectory.at(t);
+        dist += std::hypot(planned.x - realized.x, planned.y - realized.y);
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+
+    core::PklTrainingExample ex;
+    ex.expert_index = best;
+    ex.candidates.reserve(candidates.size());
+    for (const auto& c : candidates) {
+      ex.candidates.push_back(
+          metric.features(*scene.map, scene, c, forecasts, core::PklMetric::kExcludeNone));
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace iprism::eval

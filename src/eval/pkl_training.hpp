@@ -1,0 +1,23 @@
+// PKL planner supervision from recorded episodes.
+//
+// The PKL metric's planner is *learned* (paper [14]); its demonstrations
+// here are recorded episodes: at each sampled step the expert label is the
+// plan candidate that best matches what the ego actually drove over the
+// planner horizon. Fitting on different typology mixes produces the
+// PKL-All / PKL-Holdout variants of Table II.
+#pragma once
+
+#include <vector>
+
+#include "core/pkl.hpp"
+#include "eval/runner.hpp"
+
+namespace iprism::eval {
+
+/// Extracts one training example per `stride` steps of the episode. Steps
+/// whose planner horizon extends beyond the recording are skipped.
+std::vector<core::PklTrainingExample> collect_pkl_examples(const EpisodeResult& episode,
+                                                           const core::PklMetric& metric,
+                                                           int stride = 5);
+
+}  // namespace iprism::eval

@@ -1,0 +1,36 @@
+// ASCII scene rendering: a top-down plan view of a world/snapshot with the
+// ego, other actors, and (optionally) the reach-tube occupancy. Meant for
+// examples, debugging, and log inspection — the textual counterpart of the
+// paper's Fig. 1/Fig. 7 diagrams.
+#pragma once
+
+#include <string>
+
+#include "core/reachtube.hpp"
+#include "core/scene.hpp"
+
+namespace iprism::eval {
+
+struct RenderOptions {
+  /// Metres per character cell, horizontal and vertical.
+  double x_scale = 2.0;
+  double y_scale = 1.2;
+  /// Window: longitudinal metres shown behind / ahead of the ego.
+  double behind = 20.0;
+  double ahead = 60.0;
+};
+
+/// Renders the scene in the ego's road-aligned (Frenet) window:
+///   'E' ego, 'A'..'Z' other actors (by order), '.' reach-tube occupancy,
+///   '=' lane lines, '#' road edge. Multi-line string, top row = leftmost
+///   lane edge.
+std::string render_scene(const core::SceneSnapshot& scene,
+                         const core::ReachTube* tube = nullptr,
+                         const RenderOptions& options = {});
+
+/// Convenience: renders a live world, optionally with the ego's current
+/// reach-tube (computed from CVTR forecasts).
+std::string render_world(const sim::World& world, bool with_tube = false,
+                         const RenderOptions& options = {});
+
+}  // namespace iprism::eval

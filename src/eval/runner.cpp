@@ -1,0 +1,108 @@
+#include "eval/runner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace iprism::eval {
+
+const ActorTrace& EpisodeResult::ego_trace() const {
+  for (const ActorTrace& t : actors) {
+    if (t.is_ego) return t;
+  }
+  IPRISM_CHECK(false, "EpisodeResult: no ego trace");
+  std::abort();  // unreachable; IPRISM_CHECK throws
+}
+
+core::SceneSnapshot EpisodeResult::snapshot_at(int step) const {
+  IPRISM_CHECK(step >= 0 && step < samples, "snapshot_at: step out of range");
+  core::SceneSnapshot scene;
+  scene.map = map.get();
+  const double t = step * dt;
+  scene.time = t;
+  for (const ActorTrace& a : actors) {
+    if (a.is_ego) {
+      scene.ego = {a.id, a.trajectory.at(t), a.dims};
+    } else {
+      scene.others.push_back({a.id, a.trajectory.at(t), a.dims});
+    }
+  }
+  return scene;
+}
+
+std::vector<core::ActorForecast> EpisodeResult::ground_truth_forecasts(int step) const {
+  IPRISM_CHECK(step >= 0 && step < samples, "ground_truth_forecasts: step out of range");
+  std::vector<core::ActorForecast> out;
+  for (const ActorTrace& a : actors) {
+    if (a.is_ego) continue;
+    core::ActorForecast f{a.id, a.trajectory, a.dims};
+    // The recording stops at the accident (or episode end); continue each
+    // actor at constant velocity so a moving threat does not spuriously
+    // freeze at the final recorded sample.
+    dynamics::extend_with_constant_velocity(f.trajectory, 6.0, 0.25);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+EpisodeResult run_episode(sim::World world, agents::DrivingAgent& agent,
+                          agents::MitigationController* controller,
+                          const RunOptions& options) {
+  IPRISM_CHECK(world.has_ego(), "run_episode: world has no ego");
+  agent.reset();
+  if (controller) controller->reset();
+
+  EpisodeResult result;
+  result.map = world.map_ptr();
+  result.dt = world.dt();
+
+  // Trace slots, ego first.
+  for (const sim::Actor& a : world.actors()) {
+    ActorTrace t;
+    t.id = a.id;
+    t.is_ego = a.kind == sim::ActorKind::kEgo;
+    t.dims = a.dims;
+    result.actors.push_back(std::move(t));
+  }
+  for (ActorTrace& t : result.actors) {
+    t.trajectory.append(world.time(), world.actor(t.id).state);
+  }
+  result.samples = 1;
+
+  const double start_s = world.map().arclength(world.ego().state.position());
+  const int max_steps = static_cast<int>(options.max_seconds / world.dt());
+
+  for (int step = 0; step < max_steps; ++step) {
+    dynamics::Control u = agent.act(world);
+    if (controller) {
+      if (auto overridden = controller->intervene(world, u)) {
+        u = *overridden;
+        if (!result.first_mitigation_time) result.first_mitigation_time = world.time();
+        ++result.mitigation_steps;
+      }
+    }
+    world.step(u);
+    for (ActorTrace& t : result.actors) {
+      t.trajectory.append(world.time(), world.actor(t.id).state);
+    }
+    ++result.samples;
+
+    if (world.ego_collided()) {
+      result.ego_accident = true;
+      result.accident_step = result.samples - 1;
+      result.accident_time = world.time();
+      if (options.stop_on_ego_collision) break;
+    }
+    const double ego_s = world.map().arclength(world.ego().state.position());
+    if (ego_s >= world.map().road_length() - options.end_margin) {
+      result.reached_road_end = true;
+      break;
+    }
+  }
+
+  result.ego_progress =
+      world.map().arclength(world.ego().state.position()) - start_s;
+  return result;
+}
+
+}  // namespace iprism::eval

@@ -1,0 +1,71 @@
+// Episode execution and trace recording.
+//
+// The runner drives one world with a DrivingAgent (optionally overlaid with
+// a MitigationController), recording every actor's realized trajectory.
+// Recorded traces are what the offline metric characterization consumes:
+// the paper evaluates STI/TTC/CIPA/PKL with *ground-truth* actor
+// trajectories (§IV-C), which for a recorded episode are exactly the
+// replayed traces.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "agents/agent.hpp"
+#include "core/scene.hpp"
+#include "dynamics/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::eval {
+
+/// One actor's recorded motion over an episode.
+struct ActorTrace {
+  int id = -1;
+  bool is_ego = false;
+  dynamics::Dimensions dims;
+  dynamics::Trajectory trajectory;
+};
+
+struct EpisodeResult {
+  roadmap::MapPtr map;
+  double dt = 0.0;
+  /// Number of recorded snapshots (steps + 1; index 0 is the initial state).
+  int samples = 0;
+  std::vector<ActorTrace> actors;
+
+  bool ego_accident = false;
+  int accident_step = -1;       ///< snapshot index of the first ego collision
+  double accident_time = 0.0;
+
+  std::optional<double> first_mitigation_time;
+  int mitigation_steps = 0;     ///< steps on which the controller overrode
+
+  double ego_progress = 0.0;    ///< arclength travelled by the ego
+  bool reached_road_end = false;
+
+  const ActorTrace& ego_trace() const;
+
+  /// Scene snapshot at a recorded step (states interpolated exactly at the
+  /// recorded sample).
+  core::SceneSnapshot snapshot_at(int step) const;
+
+  /// Ground-truth forecasts at a step: each non-ego actor's *recorded*
+  /// future trajectory (Trajectory::at holds the final state beyond the
+  /// episode end).
+  std::vector<core::ActorForecast> ground_truth_forecasts(int step) const;
+};
+
+struct RunOptions {
+  double max_seconds = 30.0;
+  bool stop_on_ego_collision = true;
+  /// Stop when the ego is within this margin of the road end.
+  double end_margin = 15.0;
+};
+
+/// Runs one episode to completion. The world is consumed (episodes are
+/// replayable by rebuilding the world from its spec).
+EpisodeResult run_episode(sim::World world, agents::DrivingAgent& agent,
+                          agents::MitigationController* controller = nullptr,
+                          const RunOptions& options = {});
+
+}  // namespace iprism::eval

@@ -1,0 +1,40 @@
+// Per-step risk series over recorded episodes — the data behind Table II
+// (LTFMA) and the Fig. 4 / Fig. 5 time-series panels.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dist_cipa.hpp"
+#include "core/pkl.hpp"
+#include "core/sti.hpp"
+#include "core/ttc.hpp"
+#include "eval/runner.hpp"
+
+namespace iprism::eval {
+
+/// A risk function evaluated on one recorded step: snapshot + ground-truth
+/// forecasts -> risk value (0 = no risk).
+using RiskFn = std::function<double(const core::SceneSnapshot&,
+                                    const std::vector<core::ActorForecast>&)>;
+
+/// Evaluates a risk function at every `stride`-th recorded step (values
+/// between strides repeat the last computed one, so series indices align
+/// with snapshot indices).
+std::vector<double> risk_series(const EpisodeResult& episode, const RiskFn& fn,
+                                int stride = 1);
+
+/// Standard risk functions for the four metrics compared in the paper.
+RiskFn sti_risk(const core::StiCalculator& calc);
+RiskFn ttc_risk(const core::TtcMetric& metric);
+RiskFn dist_cipa_risk(const core::DistCipaMetric& metric);
+RiskFn pkl_risk(const core::PklMetric& metric);
+
+/// LTFMA-oriented variant: computes the series *backward* from the
+/// accident step and stops at the first zero-risk step — equivalent to the
+/// full series for LTFMA purposes but far cheaper for expensive metrics.
+/// Returns the lead time in seconds. The episode must contain an accident
+/// (checked).
+double ltfma_backward(const EpisodeResult& episode, const RiskFn& fn, int stride = 1);
+
+}  // namespace iprism::eval

@@ -1,0 +1,65 @@
+#include "eval/trace_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace iprism::eval {
+
+void write_episode_csv(std::ostream& os, const EpisodeResult& episode) {
+  os << "actor_id,is_ego,length,width,t,x,y,heading,speed\n";
+  os.precision(17);
+  for (const ActorTrace& actor : episode.actors) {
+    for (const auto& sample : actor.trajectory.samples()) {
+      os << actor.id << ',' << (actor.is_ego ? 1 : 0) << ',' << actor.dims.length << ','
+         << actor.dims.width << ',' << sample.t << ',' << sample.state.x << ','
+         << sample.state.y << ',' << sample.state.heading << ',' << sample.state.speed
+         << '\n';
+    }
+  }
+}
+
+std::vector<ActorTrace> read_episode_csv(std::istream& is) {
+  std::string line;
+  IPRISM_CHECK(static_cast<bool>(std::getline(is, line)),
+               "read_episode_csv: missing header");
+  IPRISM_CHECK(line.rfind("actor_id,", 0) == 0, "read_episode_csv: unexpected header");
+
+  std::map<int, ActorTrace> by_id;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    auto next = [&]() {
+      IPRISM_CHECK(static_cast<bool>(std::getline(row, cell, ',')),
+                   "read_episode_csv: truncated row '" + line + "'");
+      return cell;
+    };
+    const int id = std::stoi(next());
+    const bool is_ego = std::stoi(next()) != 0;
+    const double length = std::stod(next());
+    const double width = std::stod(next());
+    const double t = std::stod(next());
+    dynamics::VehicleState state;
+    state.x = std::stod(next());
+    state.y = std::stod(next());
+    state.heading = std::stod(next());
+    state.speed = std::stod(next());
+
+    ActorTrace& trace = by_id[id];
+    trace.id = id;
+    trace.is_ego = is_ego;
+    trace.dims = {length, width};
+    trace.trajectory.append(t, state);
+  }
+
+  std::vector<ActorTrace> out;
+  out.reserve(by_id.size());
+  for (auto& [id, trace] : by_id) out.push_back(std::move(trace));
+  return out;
+}
+
+}  // namespace iprism::eval

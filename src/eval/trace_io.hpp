@@ -1,0 +1,25 @@
+// Episode trace (de)serialization: dumps every actor's recorded trajectory
+// of an episode to CSV for external analysis/plotting, and reads such a
+// dump back into trace form. This is how evaluation runs become shareable
+// artifacts (the counterpart of the paper's released evaluation pipelines).
+//
+// Format: header `actor_id,is_ego,length,width,t,x,y,heading,speed` — one
+// row per (actor, sample).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "eval/runner.hpp"
+
+namespace iprism::eval {
+
+/// Writes all recorded samples of all actors.
+void write_episode_csv(std::ostream& os, const EpisodeResult& episode);
+
+/// Reads traces written by write_episode_csv. Returns actor traces with
+/// trajectories; episode-level metadata (map, accident flags) is not part
+/// of the format. Throws std::invalid_argument on malformed input.
+std::vector<ActorTrace> read_episode_csv(std::istream& is);
+
+}  // namespace iprism::eval

@@ -1,0 +1,43 @@
+// Axis-aligned bounding box, used as the broad phase for oriented-box
+// collision queries in the simulator and reach-tube computation.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace iprism::geom {
+
+/// Axis-aligned box [lo, hi]. Default-constructed box is "empty"
+/// (lo > hi) and absorbs points via expand().
+struct Aabb {
+  Vec2 lo{1.0, 1.0};
+  Vec2 hi{-1.0, -1.0};
+
+  bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  void expand(const Vec2& p) {
+    if (empty()) {
+      lo = hi = p;
+      return;
+    }
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  bool contains(const Vec2& p) const {
+    return !empty() && p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  bool intersects(const Aabb& o) const {
+    if (empty() || o.empty()) return false;
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y && hi.y >= o.lo.y;
+  }
+
+  /// Box grown by `m` on all sides.
+  Aabb inflated(double m) const { return {{lo.x - m, lo.y - m}, {hi.x + m, hi.y + m}}; }
+};
+
+}  // namespace iprism::geom

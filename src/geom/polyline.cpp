@@ -1,0 +1,71 @@
+#include "geom/polyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace iprism::geom {
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  IPRISM_CHECK(points_.size() >= 2, "Polyline: needs at least two points");
+  cumulative_.reserve(points_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double d = distance(points_[i - 1], points_[i]);
+    IPRISM_CHECK(d > 0.0, "Polyline: consecutive points must be distinct");
+    cumulative_.push_back(cumulative_.back() + d);
+  }
+}
+
+std::pair<std::size_t, double> Polyline::locate(double s) const {
+  s = std::clamp(s, 0.0, length());
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t i = it == cumulative_.begin()
+                      ? 0
+                      : static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  i = std::min(i, points_.size() - 2);
+  const double seg_len = cumulative_[i + 1] - cumulative_[i];
+  const double t = (s - cumulative_[i]) / seg_len;
+  return {i, t};
+}
+
+Vec2 Polyline::point_at(double s) const {
+  const auto [i, t] = locate(s);
+  return lerp(points_[i], points_[i + 1], t);
+}
+
+double Polyline::heading_at(double s) const {
+  const auto [i, t] = locate(s);
+  (void)t;
+  const Vec2 d = points_[i + 1] - points_[i];
+  return std::atan2(d.y, d.x);
+}
+
+double Polyline::project(const Vec2& p) const {
+  double best_s = 0.0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Vec2 a = points_[i];
+    const Vec2 b = points_[i + 1];
+    const Vec2 ab = b - a;
+    const double t = std::clamp((p - a).dot(ab) / ab.norm_sq(), 0.0, 1.0);
+    const Vec2 q = a + ab * t;
+    const double d2 = (p - q).norm_sq();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best_s = cumulative_[i] + t * ab.norm();
+    }
+  }
+  return best_s;
+}
+
+double Polyline::lateral_offset(const Vec2& p) const {
+  const double s = project(p);
+  const Vec2 on = point_at(s);
+  const Vec2 tangent = heading_vec(heading_at(s));
+  return tangent.cross(p - on);
+}
+
+}  // namespace iprism::geom

@@ -1,0 +1,41 @@
+// Arclength-parameterised polyline: lane centrelines, recorded paths, and
+// pedestrian routes are all polylines with projection / sampling queries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace iprism::geom {
+
+/// A piecewise-linear curve with at least two points (checked); provides
+/// arclength sampling and closest-point projection.
+class Polyline {
+ public:
+  explicit Polyline(std::vector<Vec2> points);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  double length() const { return cumulative_.back(); }
+
+  /// Point at arclength s, clamped to [0, length].
+  Vec2 point_at(double s) const;
+
+  /// Tangent heading (radians) at arclength s.
+  double heading_at(double s) const;
+
+  /// Projection of p: arclength of the closest point on the polyline.
+  double project(const Vec2& p) const;
+
+  /// Signed lateral offset of p (positive = left of travel direction).
+  double lateral_offset(const Vec2& p) const;
+
+ private:
+  /// Segment index and interpolation parameter for arclength s.
+  std::pair<std::size_t, double> locate(double s) const;
+
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arclength at points_[i]
+};
+
+}  // namespace iprism::geom

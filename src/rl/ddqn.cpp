@@ -1,0 +1,89 @@
+#include "rl/ddqn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::rl {
+namespace {
+
+std::vector<int> layer_sizes(int state_size, const std::vector<int>& hidden,
+                             int action_count) {
+  std::vector<int> sizes;
+  sizes.push_back(state_size);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(action_count);
+  return sizes;
+}
+
+int argmax(const std::vector<double>& v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+DdqnTrainer::DdqnTrainer(int state_size, int action_count, const std::vector<int>& hidden,
+                         const DdqnConfig& config, std::uint64_t seed)
+    : config_(config),
+      online_([&] {
+        common::Rng init_rng(seed);
+        return Mlp(layer_sizes(state_size, hidden, action_count), init_rng);
+      }()),
+      target_([&] {
+        common::Rng init_rng(seed);
+        return Mlp(layer_sizes(state_size, hidden, action_count), init_rng);
+      }()),
+      buffer_(config.replay_capacity),
+      rng_(seed ^ 0xD1CEBEEFULL) {
+  IPRISM_CHECK(action_count >= 2, "DdqnTrainer: need at least two actions");
+  target_.copy_weights_from(online_);
+}
+
+double DdqnTrainer::epsilon() const {
+  const double frac = std::min(
+      static_cast<double>(env_steps_) / std::max(config_.epsilon_decay_steps, 1), 1.0);
+  return config_.epsilon_start + frac * (config_.epsilon_end - config_.epsilon_start);
+}
+
+int DdqnTrainer::select_action(std::span<const double> state) {
+  if (rng_.bernoulli(epsilon())) {
+    return static_cast<int>(rng_.index(static_cast<std::size_t>(action_count())));
+  }
+  return greedy_action(state);
+}
+
+int DdqnTrainer::greedy_action(std::span<const double> state) const {
+  return argmax(online_.forward(state));
+}
+
+void DdqnTrainer::observe(Transition t) {
+  buffer_.push(std::move(t));
+  ++env_steps_;
+}
+
+double DdqnTrainer::train_step() {
+  if (buffer_.size() < static_cast<std::size_t>(config_.warmup_transitions)) return 0.0;
+  const auto batch = buffer_.sample(static_cast<std::size_t>(config_.batch_size), rng_);
+
+  double abs_td = 0.0;
+  for (const Transition* t : batch) {
+    double target = t->reward;
+    if (!t->done) {
+      // Double-DQN: online net selects, target net evaluates.
+      const int best = argmax(online_.forward(t->next_state));
+      target += config_.gamma *
+                target_.forward(t->next_state)[static_cast<std::size_t>(best)];
+    }
+    abs_td += std::abs(online_.accumulate_gradient(t->state, t->action, target));
+  }
+  online_.apply_adam(config_.learning_rate);
+
+  ++grad_steps_;
+  if (grad_steps_ % config_.target_sync_interval == 0) {
+    target_.copy_weights_from(online_);
+  }
+  return abs_td / static_cast<double>(batch.size());
+}
+
+}  // namespace iprism::rl

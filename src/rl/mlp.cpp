@@ -1,0 +1,181 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace iprism::rl {
+
+Mlp::Mlp(const std::vector<int>& sizes) : sizes_(sizes) {
+  IPRISM_CHECK(sizes.size() >= 2, "Mlp: need at least input and output sizes");
+  for (int s : sizes) IPRISM_CHECK(s > 0, "Mlp: layer sizes must be positive");
+  layers_.resize(sizes.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    const std::size_t n = static_cast<std::size_t>(layer.in) * layer.out;
+    layer.weights.assign(n, 0.0);
+    layer.biases.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.grad_w.assign(n, 0.0);
+    layer.grad_b.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.m_w.assign(n, 0.0);
+    layer.v_w.assign(n, 0.0);
+    layer.m_b.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layer.v_b.assign(static_cast<std::size_t>(layer.out), 0.0);
+  }
+}
+
+Mlp::Mlp(const std::vector<int>& sizes, common::Rng& rng) : Mlp(sizes) {
+  for (Layer& layer : layers_) {
+    const double scale = std::sqrt(2.0 / layer.in);  // He init for ReLU
+    for (double& w : layer.weights) w = rng.normal(0.0, scale);
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input) const {
+  IPRISM_CHECK(static_cast<int>(input.size()) == input_size(), "Mlp: input size mismatch");
+  std::vector<double> x(input.begin(), input.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> y(static_cast<std::size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.biases[static_cast<std::size_t>(o)];
+      const double* w = &layer.weights[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) acc += w[i] * x[static_cast<std::size_t>(i)];
+      // ReLU on hidden layers, linear output head.
+      y[static_cast<std::size_t>(o)] =
+          (l + 1 < layers_.size()) ? std::max(acc, 0.0) : acc;
+    }
+    x = std::move(y);
+  }
+  return x;
+}
+
+double Mlp::accumulate_gradient(std::span<const double> input, int action, double target) {
+  IPRISM_CHECK(static_cast<int>(input.size()) == input_size(), "Mlp: input size mismatch");
+  IPRISM_CHECK(action >= 0 && action < output_size(), "Mlp: action out of range");
+
+  // Forward pass with cached activations.
+  std::vector<std::vector<double>> acts;
+  acts.reserve(layers_.size() + 1);
+  acts.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> y(static_cast<std::size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.biases[static_cast<std::size_t>(o)];
+      const double* w = &layer.weights[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) acc += w[i] * acts.back()[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(o)] =
+          (l + 1 < layers_.size()) ? std::max(acc, 0.0) : acc;
+    }
+    acts.push_back(std::move(y));
+  }
+
+  const double td_error = acts.back()[static_cast<std::size_t>(action)] - target;
+
+  // Backward pass: dL/dy at the output is td_error on the chosen action, 0
+  // elsewhere.
+  std::vector<double> delta(acts.back().size(), 0.0);
+  delta[static_cast<std::size_t>(action)] = td_error;
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const std::vector<double>& in_act = acts[l];
+    const std::vector<double>& out_act = acts[l + 1];
+
+    // ReLU derivative applies to hidden layers only.
+    if (l + 1 < layers_.size()) {
+      for (int o = 0; o < layer.out; ++o) {
+        if (out_act[static_cast<std::size_t>(o)] <= 0.0) delta[static_cast<std::size_t>(o)] = 0.0;
+      }
+    }
+
+    std::vector<double> prev_delta(static_cast<std::size_t>(layer.in), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      if (d == 0.0) continue;
+      layer.grad_b[static_cast<std::size_t>(o)] += d;
+      double* gw = &layer.grad_w[static_cast<std::size_t>(o) * layer.in];
+      const double* w = &layer.weights[static_cast<std::size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) {
+        gw[i] += d * in_act[static_cast<std::size_t>(i)];
+        prev_delta[static_cast<std::size_t>(i)] += d * w[i];
+      }
+    }
+    delta = std::move(prev_delta);
+  }
+
+  ++grad_count_;
+  return td_error;
+}
+
+void Mlp::apply_adam(double learning_rate) {
+  if (grad_count_ == 0) return;
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  ++adam_t_;
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  const double inv_n = 1.0 / static_cast<double>(grad_count_);
+
+  auto update = [&](std::vector<double>& w, std::vector<double>& g, std::vector<double>& m,
+                    std::vector<double>& v) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double grad = g[i] * inv_n;
+      m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * grad;
+      v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * grad * grad;
+      const double mh = m[i] / bias1;
+      const double vh = v[i] / bias2;
+      w[i] -= learning_rate * mh / (std::sqrt(vh) + kEps);
+      g[i] = 0.0;
+    }
+  };
+  for (Layer& layer : layers_) {
+    update(layer.weights, layer.grad_w, layer.m_w, layer.v_w);
+    update(layer.biases, layer.grad_b, layer.m_b, layer.v_b);
+  }
+  grad_count_ = 0;
+}
+
+void Mlp::copy_weights_from(const Mlp& other) {
+  IPRISM_CHECK(sizes_ == other.sizes_, "Mlp: architecture mismatch in copy_weights_from");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].weights = other.layers_[l].weights;
+    layers_[l].biases = other.layers_[l].biases;
+  }
+}
+
+void Mlp::save(std::ostream& os) const {
+  os << sizes_.size() << '\n';
+  for (int s : sizes_) os << s << ' ';
+  os << '\n';
+  os.precision(17);
+  for (const Layer& layer : layers_) {
+    for (double w : layer.weights) os << w << ' ';
+    os << '\n';
+    for (double b : layer.biases) os << b << ' ';
+    os << '\n';
+  }
+}
+
+Mlp Mlp::load(std::istream& is) {
+  std::size_t n = 0;
+  is >> n;
+  IPRISM_CHECK(is.good() && n >= 2 && n < 64, "Mlp::load: bad layer count");
+  std::vector<int> sizes(n);
+  for (int& s : sizes) is >> s;
+  Mlp net(sizes);
+  for (Layer& layer : net.layers_) {
+    for (double& w : layer.weights) is >> w;
+    for (double& b : layer.biases) is >> b;
+  }
+  IPRISM_CHECK(is.good() || is.eof(), "Mlp::load: truncated stream");
+  return net;
+}
+
+}  // namespace iprism::rl

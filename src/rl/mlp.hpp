@@ -1,0 +1,67 @@
+// Multi-layer perceptron with manual backpropagation and Adam — the Q-value
+// function approximator V_theta of the SMC (paper Eq. 9). The paper uses a
+// CNN over camera frames; this library's SMC observes an engineered
+// feature vector instead (substitution documented in DESIGN.md §2), for
+// which an MLP is the appropriate approximator. ReLU hidden layers, linear
+// output head sized to the action count.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iprism::rl {
+
+class Mlp {
+ public:
+  /// `sizes` = {input, hidden..., output}; at least one hidden layer is not
+  /// required but sizes must have >= 2 entries (checked). He-initialized.
+  Mlp(const std::vector<int>& sizes, common::Rng& rng);
+
+  int input_size() const { return sizes_.front(); }
+  int output_size() const { return sizes_.back(); }
+
+  /// Forward pass (thread-compatible: const, no shared scratch).
+  std::vector<double> forward(std::span<const double> input) const;
+
+  /// Accumulates the gradient of 0.5 * (f(x)[action] - target)^2 into the
+  /// pending batch. Returns the TD error f(x)[action] - target.
+  double accumulate_gradient(std::span<const double> input, int action, double target);
+
+  /// Applies one Adam step using the accumulated (batch-averaged)
+  /// gradients, then clears them. No-op if nothing was accumulated.
+  void apply_adam(double learning_rate);
+
+  /// Copies weights (not optimizer state) — target-network sync.
+  void copy_weights_from(const Mlp& other);
+
+  /// Plain-text serialization of architecture + weights.
+  void save(std::ostream& os) const;
+  /// Loads a network previously saved with save() (architecture must be
+  /// reconstructible; returns a new network).
+  static Mlp load(std::istream& is);
+
+ private:
+  explicit Mlp(const std::vector<int>& sizes);  // uninitialized weights, for load()
+
+  struct Layer {
+    // Row-major weights[out][in], plus biases[out].
+    std::vector<double> weights;
+    std::vector<double> biases;
+    std::vector<double> grad_w;
+    std::vector<double> grad_b;
+    // Adam moments.
+    std::vector<double> m_w, v_w, m_b, v_b;
+    int in = 0, out = 0;
+  };
+
+  std::vector<int> sizes_;
+  std::vector<Layer> layers_;
+  std::size_t grad_count_ = 0;
+  long adam_t_ = 0;
+};
+
+}  // namespace iprism::rl

@@ -1,0 +1,30 @@
+#include "rl/replay.hpp"
+
+#include "common/check.hpp"
+
+namespace iprism::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  IPRISM_CHECK(capacity > 0, "ReplayBuffer: capacity must be positive");
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Transition t) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[next_] = std::move(t);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t count,
+                                                    common::Rng& rng) const {
+  IPRISM_CHECK(!buffer_.empty(), "ReplayBuffer: cannot sample from empty buffer");
+  std::vector<const Transition*> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(&buffer_[rng.index(buffer_.size())]);
+  return out;
+}
+
+}  // namespace iprism::rl

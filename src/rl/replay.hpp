@@ -1,0 +1,39 @@
+// Experience replay buffer for off-policy Q-learning (paper §III-B uses the
+// standard D-DQN training setup [47], [49]).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace iprism::rl {
+
+struct Transition {
+  std::vector<double> state;
+  int action = 0;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition t);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Uniformly samples `count` transitions (with replacement). Requires a
+  /// non-empty buffer (checked).
+  std::vector<const Transition*> sample(std::size_t count, common::Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> buffer_;
+};
+
+}  // namespace iprism::rl

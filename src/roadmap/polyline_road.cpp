@@ -1,0 +1,91 @@
+#include "roadmap/polyline_road.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::roadmap {
+
+PolylineRoad::PolylineRoad(geom::Polyline reference, int lanes, double lane_width)
+    : reference_(std::move(reference)), lanes_(lanes), lane_width_(lane_width) {
+  IPRISM_CHECK(lanes >= 1, "PolylineRoad: need at least one lane");
+  IPRISM_CHECK(lane_width > 0.0, "PolylineRoad: lane_width must be positive");
+}
+
+bool PolylineRoad::contains(const geom::Vec2& p) const {
+  const double s = reference_.project(p);
+  const geom::Vec2 on = reference_.point_at(s);
+  const geom::Vec2 tangent = geom::heading_vec(reference_.heading_at(s));
+  const geom::Vec2 rel = p - on;
+  const double d = tangent.cross(rel);
+  // Beyond either end the projection clamps, leaving a large longitudinal
+  // residual; interior points have only the small residual of the polyline
+  // discretization (proportional to the lateral offset times the per-vertex
+  // heading step).
+  if (std::abs(rel.dot(tangent)) > 0.05 + 0.05 * std::abs(d)) return false;
+  return d >= 0.0 && d <= lanes_ * lane_width_;
+}
+
+int PolylineRoad::lane_at(const geom::Vec2& p) const {
+  if (!contains(p)) return -1;
+  const double d = reference_.lateral_offset(p);
+  const int lane = static_cast<int>(d / lane_width_);
+  return std::clamp(lane, 0, lanes_ - 1);
+}
+
+double PolylineRoad::arclength(const geom::Vec2& p) const { return reference_.project(p); }
+
+double PolylineRoad::lateral(const geom::Vec2& p) const {
+  return reference_.lateral_offset(p);
+}
+
+geom::Vec2 PolylineRoad::point_at(double s, double d) const {
+  const geom::Vec2 on = reference_.point_at(s);
+  const geom::Vec2 left = geom::heading_vec(reference_.heading_at(s)).perp();
+  return on + left * d;
+}
+
+double PolylineRoad::heading_at(double s) const { return reference_.heading_at(s); }
+
+double PolylineRoad::curvature_at(double s, double d) const {
+  // Centreline curvature by finite differences, corrected for the offset
+  // path's radius (r_offset = r_ref - d for a left turn).
+  constexpr double kDs = 2.0;
+  const double s0 = std::max(s - kDs / 2.0, 0.0);
+  const double s1 = std::min(s + kDs / 2.0, reference_.length());
+  if (s1 - s0 < 1e-9) return 0.0;
+  const double kappa_ref =
+      geom::angle_diff(reference_.heading_at(s1), reference_.heading_at(s0)) / (s1 - s0);
+  const double denom = 1.0 - kappa_ref * d;
+  if (std::abs(denom) < 1e-3) return kappa_ref > 0.0 ? 1e3 : -1e3;
+  return kappa_ref / denom;
+}
+
+double PolylineRoad::lane_center_offset(int lane) const {
+  IPRISM_CHECK(lane >= 0 && lane < lanes_, "PolylineRoad: lane index out of range");
+  return (lane + 0.5) * lane_width_;
+}
+
+PolylineRoad PolylineRoad::s_curve(int lanes, double lane_width, double arc_radius,
+                                   double arc_angle, int samples_per_arc) {
+  IPRISM_CHECK(arc_radius > 0.0 && arc_angle > 0.0 && samples_per_arc >= 4,
+               "PolylineRoad::s_curve: bad arc parameters");
+  std::vector<geom::Vec2> pts;
+  // First arc: turn left around a centre above the origin.
+  const geom::Vec2 c1{0.0, arc_radius};
+  for (int i = 0; i <= samples_per_arc; ++i) {
+    const double a = -M_PI / 2.0 + arc_angle * i / samples_per_arc;
+    pts.push_back(c1 + geom::Vec2{std::cos(a), std::sin(a)} * arc_radius);
+  }
+  // Second arc: turn right, tangent-continuous with the first.
+  const geom::Vec2 joint = pts.back();
+  const double joint_heading = arc_angle;  // started heading +x, turned left
+  const geom::Vec2 c2 = joint + geom::heading_vec(joint_heading).perp() * -arc_radius;
+  for (int i = 1; i <= samples_per_arc; ++i) {
+    const double a = (M_PI / 2.0 + joint_heading) - arc_angle * i / samples_per_arc;
+    pts.push_back(c2 + geom::Vec2{std::cos(a), std::sin(a)} * arc_radius);
+  }
+  return PolylineRoad(geom::Polyline(std::move(pts)), lanes, lane_width);
+}
+
+}  // namespace iprism::roadmap

@@ -1,0 +1,52 @@
+// General curved road: a multi-lane corridor around an arbitrary polyline
+// reference line (the road's right edge). Generalizes StraightRoad/RingRoad
+// to S-curves, chicanes, and arbitrary recorded centrelines — the map shape
+// real HD-map extracts take.
+//
+// Frenet frame: s = arclength along the reference polyline, d = signed
+// offset to the *left* of travel (the library-wide convention). The
+// drivable surface is d in [0, lane_count * lane_width].
+#pragma once
+
+#include "geom/polyline.hpp"
+#include "roadmap/map.hpp"
+
+namespace iprism::roadmap {
+
+class PolylineRoad final : public DrivableMap {
+ public:
+  /// `reference` is the right road edge; must have at least two points
+  /// (checked by Polyline). Curvature is estimated by finite differences of
+  /// the polyline heading, so densely sampled references give smooth
+  /// steering feedforward.
+  PolylineRoad(geom::Polyline reference, int lanes, double lane_width);
+
+  int lane_count() const override { return lanes_; }
+  double lane_width() const override { return lane_width_; }
+  double road_length() const override { return reference_.length(); }
+
+  bool contains(const geom::Vec2& p) const override;
+  int lane_at(const geom::Vec2& p) const override;
+
+  double arclength(const geom::Vec2& p) const override;
+  double lateral(const geom::Vec2& p) const override;
+  geom::Vec2 point_at(double s, double d) const override;
+  double heading_at(double s) const override;
+  double curvature_at(double s, double d) const override;
+
+  double lane_center_offset(int lane) const override;
+
+  const geom::Polyline& reference() const { return reference_; }
+
+  /// Builds a smooth S-curve road (two opposing arcs) — a convenient
+  /// test/demo map exercising both curvature signs.
+  static PolylineRoad s_curve(int lanes, double lane_width, double arc_radius = 60.0,
+                              double arc_angle = 1.2, int samples_per_arc = 48);
+
+ private:
+  geom::Polyline reference_;
+  int lanes_;
+  double lane_width_;
+};
+
+}  // namespace iprism::roadmap

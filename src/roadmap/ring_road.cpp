@@ -1,0 +1,57 @@
+#include "roadmap/ring_road.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::roadmap {
+
+RingRoad::RingRoad(int lanes, double lane_width, double inner_radius)
+    : lanes_(lanes), lane_width_(lane_width), inner_radius_(inner_radius) {
+  IPRISM_CHECK(lanes >= 1, "RingRoad: need at least one lane");
+  IPRISM_CHECK(lane_width > 0.0 && inner_radius > 0.0,
+               "RingRoad: lane_width and inner_radius must be positive");
+}
+
+double RingRoad::road_length() const { return 2.0 * M_PI * inner_radius_; }
+
+bool RingRoad::contains(const geom::Vec2& p) const {
+  const double r = p.norm();
+  return r >= inner_radius_ && r <= outer_radius();
+}
+
+int RingRoad::lane_at(const geom::Vec2& p) const {
+  if (!contains(p)) return -1;
+  const int lane = static_cast<int>((outer_radius() - p.norm()) / lane_width_);
+  return std::min(lane, lanes_ - 1);
+}
+
+double RingRoad::arclength(const geom::Vec2& p) const {
+  double angle = std::atan2(p.y, p.x);
+  if (angle < 0.0) angle += 2.0 * M_PI;
+  return inner_radius_ * angle;
+}
+
+double RingRoad::lateral(const geom::Vec2& p) const { return outer_radius() - p.norm(); }
+
+geom::Vec2 RingRoad::point_at(double s, double d) const {
+  const double angle = s / inner_radius_;
+  const double r = outer_radius() - d;
+  return {r * std::cos(angle), r * std::sin(angle)};
+}
+
+double RingRoad::heading_at(double s) const {
+  // CCW travel: heading is tangent, 90 degrees ahead of the radial angle.
+  return geom::wrap_angle(s / inner_radius_ + M_PI / 2.0);
+}
+
+double RingRoad::curvature_at(double /*s*/, double d) const {
+  return 1.0 / std::max(outer_radius() - d, 1.0);
+}
+
+double RingRoad::lane_center_offset(int lane) const {
+  IPRISM_CHECK(lane >= 0 && lane < lanes_, "RingRoad: lane index out of range");
+  return (lane + 0.5) * lane_width_;
+}
+
+}  // namespace iprism::roadmap

@@ -1,0 +1,47 @@
+// Circular (roundabout) road: an annulus centred at the origin, driven
+// counter-clockwise. The Frenet lateral axis follows the library-wide
+// convention "positive d = left of travel", which on a CCW ring points
+// *inward*; lane 0 (the rightmost lane) is therefore the outermost ring.
+// Used for the paper's roundabout + ghost cut-in extension (§V-C).
+#pragma once
+
+#include "roadmap/map.hpp"
+
+namespace iprism::roadmap {
+
+class RingRoad final : public DrivableMap {
+ public:
+  /// `inner_radius` is the radius of the inner road edge; lanes stack
+  /// outward from it. All parameters positive (checked).
+  RingRoad(int lanes, double lane_width, double inner_radius);
+
+  int lane_count() const override { return lanes_; }
+  double lane_width() const override { return lane_width_; }
+  /// Circumference of the reference line (the inner edge).
+  double road_length() const override;
+
+  bool contains(const geom::Vec2& p) const override;
+  int lane_at(const geom::Vec2& p) const override;
+
+  /// s = inner_radius * unwrapped CCW angle, in [0, circumference).
+  double arclength(const geom::Vec2& p) const override;
+  /// d = outer_radius - radius: distance to the *left* of the outer edge.
+  double lateral(const geom::Vec2& p) const override;
+  geom::Vec2 point_at(double s, double d) const override;
+  double heading_at(double s) const override;
+
+  double lane_center_offset(int lane) const override;
+
+  /// CCW travel on a circle of radius outer_radius - d (turning left).
+  double curvature_at(double s, double d) const override;
+
+  double inner_radius() const { return inner_radius_; }
+  double outer_radius() const { return inner_radius_ + lanes_ * lane_width_; }
+
+ private:
+  int lanes_;
+  double lane_width_;
+  double inner_radius_;
+};
+
+}  // namespace iprism::roadmap

@@ -1,0 +1,239 @@
+#include "scenario/factory.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "roadmap/ring_road.hpp"
+#include "roadmap/straight_road.hpp"
+#include "sim/behaviors.hpp"
+
+namespace iprism::scenario {
+
+std::string_view typology_name(Typology t) {
+  switch (t) {
+    case Typology::kGhostCutIn: return "Ghost Cut-in";
+    case Typology::kLeadCutIn: return "Lead Cut-in";
+    case Typology::kLeadSlowdown: return "Lead Slowdown";
+    case Typology::kFrontAccident: return "Front Accident";
+    case Typology::kRearEnd: return "Rear-end";
+  }
+  return "unknown";
+}
+
+double ScenarioSpec::param(const std::string& key) const {
+  const auto it = hyperparams.find(key);
+  IPRISM_CHECK(it != hyperparams.end(), "ScenarioSpec: missing hyperparameter " + key);
+  return it->second;
+}
+
+ScenarioFactory::ScenarioFactory(const ScenarioConfig& config) : config_(config) {
+  IPRISM_CHECK(config.lanes >= 2, "ScenarioConfig: typologies need at least two lanes");
+  IPRISM_CHECK(config.ego_lane >= 0 && config.ego_lane < config.lanes,
+               "ScenarioConfig: ego_lane out of range");
+}
+
+// ---------------------------------------------------------------------------
+// Hyperparameter sampling. Names follow Table I; ranges are chosen so that
+// the spread of criticality reproduces the paper's baseline accident-rate
+// profile (LBC worst on rear-end and ghost cut-in, clean on front accident).
+
+ScenarioSpec ScenarioFactory::sample(Typology typology, std::uint64_t instance,
+                                     common::Rng& rng) const {
+  ScenarioSpec spec;
+  spec.typology = typology;
+  spec.instance = instance;
+  auto& p = spec.hyperparams;
+  switch (typology) {
+    case Typology::kGhostCutIn:
+      p["distance_same_lane"] = rng.uniform(8.0, 30.0);     // start gap behind ego
+      p["distance_lane_change"] = rng.uniform(0.5, 6.0);    // lead when the cut starts
+      p["speed_lane_change"] = rng.uniform(1.5, 4.0);       // lateral cut speed
+      p["approach_speed"] = rng.uniform(10.5, 14.0);        // pre-cut cruise
+      p["post_speed"] = rng.uniform(3.0, 6.5);              // speed held while cutting
+      break;
+    case Typology::kLeadCutIn:
+      p["event_trigger_distance"] = rng.uniform(8.0, 30.0);  // ego gap that triggers cut
+      p["distance_lane_change"] = rng.uniform(25.0, 60.0);   // start gap ahead of ego
+      p["speed_lane_change"] = rng.uniform(1.2, 3.5);
+      p["npc_speed"] = rng.uniform(2.5, 5.5);                // slower than the ego
+      break;
+    case Typology::kLeadSlowdown:
+      p["npc_vehicle_location"] = rng.uniform(12.0, 55.0);   // start gap ahead of ego
+      p["npc_vehicle_speed"] = rng.uniform(4.0, 8.0);
+      p["event_trigger_distance"] = rng.uniform(4.0, 28.0);  // ego gap that triggers braking
+      p["decel"] = rng.uniform(4.0, 9.0);
+      break;
+    case Typology::kFrontAccident:
+      p["distance_same_lane"] = rng.uniform(55.0, 90.0);     // partner ahead in ego lane
+      p["distance_lane_change"] = rng.uniform(8.0, 35.0);    // merger behind its partner
+      p["event_trigger_distance"] = rng.uniform(2.0, 8.0);   // offset at which it merges
+      p["merger_speed"] = rng.uniform(7.0, 12.0);            // partner holds 7.5 m/s
+      break;
+    case Typology::kRearEnd:
+      p["npc_vehicle_1_speed"] = rng.uniform(8.3, 15.0);     // rear chaser
+      p["npc_vehicle_2_speed"] = rng.uniform(8.2, 9.2);      // lead blocker
+      p["npc_vehicle_1_location"] = rng.uniform(35.0, 100.0); // chaser start gap behind
+      break;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// World building.
+
+sim::World ScenarioFactory::make_world(roadmap::MapPtr map) const {
+  sim::World world(std::move(map), config_.dt);
+  return world;
+}
+
+namespace {
+
+dynamics::VehicleState lane_state(const roadmap::DrivableMap& map, int lane, double s,
+                                  double speed) {
+  dynamics::VehicleState st;
+  const geom::Vec2 pos = map.point_at(s, map.lane_center_offset(lane));
+  st.x = pos.x;
+  st.y = pos.y;
+  st.heading = map.heading_at(s);
+  st.speed = speed;
+  return st;
+}
+
+sim::Actor npc(const roadmap::DrivableMap& map, int lane, double s, double speed,
+               std::unique_ptr<sim::Behavior> behavior) {
+  sim::Actor a;
+  a.kind = sim::ActorKind::kVehicle;
+  a.state = lane_state(map, lane, s, speed);
+  a.behavior = std::move(behavior);
+  return a;
+}
+
+}  // namespace
+
+sim::World ScenarioFactory::build(const ScenarioSpec& spec) const {
+  auto map = std::make_shared<roadmap::StraightRoad>(config_.lanes, config_.lane_width,
+                                                     config_.road_length);
+  sim::World world = make_world(map);
+  const double ego_s = config_.ego_start_s;
+  world.add_ego(lane_state(*map, config_.ego_lane, ego_s, config_.ego_speed));
+
+  // The threat approaches from the right lane on even instances, the left
+  // lane on odd ones (when the ego lane has both neighbours).
+  const int side_lane = (spec.instance % 2 == 0 && config_.ego_lane > 0)
+                            ? config_.ego_lane - 1
+                            : std::min(config_.ego_lane + 1, config_.lanes - 1);
+
+  switch (spec.typology) {
+    case Typology::kGhostCutIn: {
+      sim::CutInBehavior::Params b;
+      b.start_lane = side_lane;
+      b.target_lane = config_.ego_lane;
+      b.mode = sim::CutInBehavior::TriggerMode::kSelfAheadOfEgo;
+      b.trigger_offset = spec.param("distance_lane_change");
+      b.cruise_speed = spec.param("approach_speed");
+      b.post_speed = spec.param("post_speed");
+      b.lateral_speed = spec.param("speed_lane_change");
+      world.add_actor(npc(*map, side_lane, ego_s - spec.param("distance_same_lane"),
+                          b.cruise_speed, std::make_unique<sim::CutInBehavior>(b)));
+      break;
+    }
+    case Typology::kLeadCutIn: {
+      sim::CutInBehavior::Params b;
+      b.start_lane = side_lane;
+      b.target_lane = config_.ego_lane;
+      b.mode = sim::CutInBehavior::TriggerMode::kEgoWithinDistance;
+      b.trigger_offset = spec.param("event_trigger_distance");
+      b.cruise_speed = spec.param("npc_speed");
+      b.post_speed = spec.param("npc_speed");
+      b.lateral_speed = spec.param("speed_lane_change");
+      world.add_actor(npc(*map, side_lane, ego_s + spec.param("distance_lane_change"),
+                          b.cruise_speed, std::make_unique<sim::CutInBehavior>(b)));
+      break;
+    }
+    case Typology::kLeadSlowdown: {
+      sim::SlowdownBehavior::Params b;
+      b.lane = config_.ego_lane;
+      b.cruise_speed = spec.param("npc_vehicle_speed");
+      b.trigger_distance = spec.param("event_trigger_distance");
+      b.decel = spec.param("decel");
+      world.add_actor(npc(*map, config_.ego_lane,
+                          ego_s + spec.param("npc_vehicle_location"), b.cruise_speed,
+                          std::make_unique<sim::SlowdownBehavior>(b)));
+      break;
+    }
+    case Typology::kFrontAccident: {
+      // Partner cruises in the ego lane; the merger comes up in the side
+      // lane and merges into it, wrecking both ahead of the ego.
+      const double partner_s = ego_s + spec.param("distance_same_lane");
+      sim::LaneFollowBehavior::Params lf;
+      lf.lane = config_.ego_lane;
+      lf.target_speed = 7.5;
+      const int partner_id =
+          world.add_actor(npc(*map, config_.ego_lane, partner_s, lf.target_speed,
+                              std::make_unique<sim::LaneFollowBehavior>(lf)));
+      sim::MergeColliderBehavior::Params mb;
+      mb.start_lane = side_lane;
+      mb.target_lane = config_.ego_lane;
+      mb.partner_id = partner_id;
+      mb.trigger_offset = spec.param("event_trigger_distance");
+      mb.speed = spec.param("merger_speed");
+      world.add_actor(npc(*map, side_lane,
+                          partner_s - spec.param("distance_lane_change"), mb.speed,
+                          std::make_unique<sim::MergeColliderBehavior>(mb)));
+      break;
+    }
+    case Typology::kRearEnd: {
+      sim::RearChaseBehavior::Params cb;
+      cb.speed = spec.param("npc_vehicle_1_speed");
+      world.add_actor(npc(*map, config_.ego_lane,
+                          ego_s - spec.param("npc_vehicle_1_location"), cb.speed,
+                          std::make_unique<sim::RearChaseBehavior>(cb)));
+      // The lead blocker sits beyond the ego's reach-tube horizon and the
+      // CIPA threshold, pacing traffic: it does not register as a forward
+      // risk, but it caps how long an acceleration escape can be sustained
+      // (the §V-C rear-end mitigation constraint).
+      sim::LaneFollowBehavior::Params lf;
+      lf.lane = config_.ego_lane;
+      lf.target_speed = spec.param("npc_vehicle_2_speed");
+      world.add_actor(npc(*map, config_.ego_lane, ego_s + 75.0, lf.target_speed,
+                          std::make_unique<sim::LaneFollowBehavior>(lf)));
+      break;
+    }
+  }
+  return world;
+}
+
+sim::World ScenarioFactory::build_roundabout(const ScenarioSpec& spec) const {
+  IPRISM_CHECK(spec.typology == Typology::kGhostCutIn,
+               "build_roundabout: only the ghost cut-in variant is defined");
+  auto map = std::make_shared<roadmap::RingRoad>(2, config_.lane_width, 30.0);
+  sim::World world = make_world(map);
+  const double ego_s = 10.0;
+  world.add_ego(lane_state(*map, 0, ego_s, config_.ego_speed));
+
+  sim::CutInBehavior::Params b;
+  b.start_lane = 1;
+  b.target_lane = 0;
+  b.mode = sim::CutInBehavior::TriggerMode::kSelfAheadOfEgo;
+  b.trigger_offset = spec.param("distance_lane_change");
+  b.cruise_speed = spec.param("approach_speed");
+  b.post_speed = spec.param("post_speed");
+  b.lateral_speed = spec.param("speed_lane_change");
+  world.add_actor(npc(*map, 1, ego_s - spec.param("distance_same_lane"), b.cruise_speed,
+                      std::make_unique<sim::CutInBehavior>(b)));
+  return world;
+}
+
+bool ScenarioFactory::valid(const ScenarioSpec& spec) const {
+  if (spec.typology != Typology::kFrontAccident) return true;
+  sim::World world = build(spec);
+  const int steps = static_cast<int>(config_.episode_seconds / config_.dt);
+  for (int i = 0; i < steps; ++i) {
+    world.step(dynamics::Control{0.0, 0.0});  // ego cruises; threat actors script
+    if (world.npc_collision_occurred()) return true;
+    if (world.ego_collided()) return false;  // ego got entangled first
+  }
+  return false;
+}
+
+}  // namespace iprism::scenario

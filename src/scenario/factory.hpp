@@ -1,0 +1,53 @@
+// Builds simulation worlds from scenario specs and samples spec suites with
+// uniformly-drawn hyperparameters (paper §IV-B1: "We varied the
+// hyperparameters uniformly for each typology").
+#pragma once
+
+#include "common/rng.hpp"
+#include "roadmap/map.hpp"
+#include "scenario/spec.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::scenario {
+
+/// World-building configuration shared by all typologies.
+struct ScenarioConfig {
+  int lanes = 3;
+  double lane_width = 3.5;
+  double road_length = 600.0;
+  double dt = 0.1;
+  int ego_lane = 1;
+  double ego_start_s = 40.0;
+  double ego_speed = 8.0;  ///< the LBC agent's cruise speed
+  double episode_seconds = 30.0;
+};
+
+class ScenarioFactory {
+ public:
+  explicit ScenarioFactory(const ScenarioConfig& config = {});
+
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Draws one spec with uniform hyperparameters (ranges in factory.cpp).
+  ScenarioSpec sample(Typology typology, std::uint64_t instance, common::Rng& rng) const;
+
+  /// Deterministically constructs the world for a spec. Ego is added but
+  /// undriven — attach a DrivingAgent via the eval runner.
+  sim::World build(const ScenarioSpec& spec) const;
+
+  /// Builds the roundabout variant of a ghost cut-in spec (§V-C extension):
+  /// same threat script on a RingRoad map.
+  sim::World build_roundabout(const ScenarioSpec& spec) const;
+
+  /// Front-accident validity (paper: 810 of 1000 draws were valid): true if
+  /// the two threat actors collide with each other — with the ego simply
+  /// cruising — within the episode. Always true for other typologies.
+  bool valid(const ScenarioSpec& spec) const;
+
+ private:
+  sim::World make_world(roadmap::MapPtr map) const;
+
+  ScenarioConfig config_;
+};
+
+}  // namespace iprism::scenario

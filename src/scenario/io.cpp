@@ -1,0 +1,55 @@
+#include "scenario/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace iprism::scenario {
+
+Typology typology_from_name(std::string_view name) {
+  for (Typology t : kAllTypologies) {
+    if (typology_name(t) == name) return t;
+  }
+  IPRISM_CHECK(false, "typology_from_name: unknown typology '" + std::string(name) + "'");
+  std::abort();  // unreachable; IPRISM_CHECK throws
+}
+
+void write_suite(std::ostream& os, const std::vector<ScenarioSpec>& specs) {
+  os.precision(17);
+  for (const ScenarioSpec& spec : specs) {
+    os << typology_name(spec.typology) << ',' << spec.instance;
+    for (const auto& [key, value] : spec.hyperparams) {
+      os << ',' << key << '=' << value;
+    }
+    os << '\n';
+  }
+}
+
+std::vector<ScenarioSpec> read_suite(std::istream& is) {
+  std::vector<ScenarioSpec> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+
+    ScenarioSpec spec;
+    IPRISM_CHECK(std::getline(row, cell, ','), "read_suite: missing typology column");
+    spec.typology = typology_from_name(cell);
+    IPRISM_CHECK(std::getline(row, cell, ','), "read_suite: missing instance column");
+    spec.instance = std::stoull(cell);
+
+    while (std::getline(row, cell, ',')) {
+      const auto eq = cell.find('=');
+      IPRISM_CHECK(eq != std::string::npos && eq > 0,
+                   "read_suite: malformed hyperparameter cell '" + cell + "'");
+      spec.hyperparams[cell.substr(0, eq)] = std::stod(cell.substr(eq + 1));
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace iprism::scenario

@@ -1,0 +1,42 @@
+// Safety-critical scenario typologies (paper §IV-B1, Fig. 3, Table I).
+//
+// A typology is a high-level pre-crash pattern from the NHTSA typology
+// report; a ScenarioSpec instantiates one with concrete hyperparameter
+// values (Table I lists the hyperparameter names per typology). Specs are
+// plain data: the same spec always builds the same world.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace iprism::scenario {
+
+enum class Typology {
+  kGhostCutIn,
+  kLeadCutIn,
+  kLeadSlowdown,
+  kFrontAccident,
+  kRearEnd,
+};
+
+inline constexpr Typology kAllTypologies[] = {
+    Typology::kGhostCutIn, Typology::kLeadCutIn, Typology::kLeadSlowdown,
+    Typology::kFrontAccident, Typology::kRearEnd};
+
+/// Human-readable typology name (matches the paper's tables).
+std::string_view typology_name(Typology t);
+
+/// One concrete safety-critical scenario.
+struct ScenarioSpec {
+  Typology typology = Typology::kGhostCutIn;
+  /// Instance index within its suite; also salts deterministic per-instance
+  /// choices (e.g. which adjacent lane the threat uses).
+  std::uint64_t instance = 0;
+  /// Named hyperparameters, keyed by the Table I names.
+  std::map<std::string, double> hyperparams;
+
+  double param(const std::string& key) const;
+};
+
+}  // namespace iprism::scenario

@@ -1,0 +1,33 @@
+#include "scenario/suite.hpp"
+
+#include "common/check.hpp"
+
+namespace iprism::scenario {
+
+SuiteResult generate_suite(const ScenarioFactory& factory, Typology typology, int count,
+                           std::uint64_t seed) {
+  IPRISM_CHECK(count > 0, "generate_suite: count must be positive");
+  common::Rng rng(seed);
+  SuiteResult out;
+  out.specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ScenarioSpec spec = factory.sample(typology, static_cast<std::uint64_t>(i), rng);
+    if (factory.valid(spec)) {
+      out.specs.push_back(std::move(spec));
+    } else {
+      ++out.discarded;
+    }
+  }
+  return out;
+}
+
+ScenarioSpec jitter_spec(const ScenarioSpec& spec, double fraction, common::Rng& rng) {
+  IPRISM_CHECK(fraction >= 0.0 && fraction < 1.0, "jitter_spec: fraction must be in [0, 1)");
+  ScenarioSpec out = spec;
+  for (auto& [key, value] : out.hyperparams) {
+    value *= rng.uniform(1.0 - fraction, 1.0 + fraction);
+  }
+  return out;
+}
+
+}  // namespace iprism::scenario

@@ -1,0 +1,29 @@
+// Scenario suite generation: the 4810-scenario benchmark of the paper
+// (1000 draws per typology; front-accident draws that do not produce a
+// non-ego collision are discarded, which left the paper with 810).
+#pragma once
+
+#include <vector>
+
+#include "scenario/factory.hpp"
+
+namespace iprism::scenario {
+
+struct SuiteResult {
+  std::vector<ScenarioSpec> specs;
+  int discarded = 0;  ///< invalid draws (front accident only)
+};
+
+/// Draws `count` specs of a typology from the seed and filters invalid
+/// ones. Deterministic: (typology, count, seed, config) fixes the suite.
+SuiteResult generate_suite(const ScenarioFactory& factory, Typology typology, int count,
+                           std::uint64_t seed);
+
+/// Perturbs every hyperparameter by a uniform factor in
+/// [1 - fraction, 1 + fraction]. SMC training rolls many episodes of one
+/// selected scenario; jittering stands in for the episode-to-episode
+/// nondeterminism a full 3-D simulator would provide, so the trainer sees
+/// both savable and doomed variants of the same situation.
+ScenarioSpec jitter_spec(const ScenarioSpec& spec, double fraction, common::Rng& rng);
+
+}  // namespace iprism::scenario

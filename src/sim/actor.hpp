@@ -1,0 +1,38 @@
+// Actors in the traffic world: the ego vehicle, other (NPC) vehicles, and
+// pedestrians. NPC motion is scripted by Behaviors (sim/behavior.hpp); the
+// ego's control comes from a DrivingAgent outside the world.
+#pragma once
+
+#include <memory>
+
+#include "dynamics/state.hpp"
+#include "dynamics/trajectory.hpp"
+#include "geom/obb.hpp"
+
+namespace iprism::sim {
+
+class Behavior;
+
+enum class ActorKind { kEgo, kVehicle, kPedestrian };
+
+/// One entity in the world. Move-only (owns its behavior); World::clone()
+/// deep-copies via Behavior::clone().
+struct Actor {
+  int id = -1;
+  ActorKind kind = ActorKind::kVehicle;
+  dynamics::Dimensions dims;
+  dynamics::VehicleState state;
+  /// State one simulator step ago (for yaw-rate estimation by CVTR).
+  dynamics::VehicleState prev_state;
+  /// nullptr for the ego (driven externally) and for static props.
+  std::unique_ptr<Behavior> behavior;
+  /// Set when this actor has been in a collision; crashed actors brake to a
+  /// stop and become static wreckage.
+  bool crashed = false;
+
+  geom::OrientedBox footprint() const {
+    return dynamics::footprint(state, dims);
+  }
+};
+
+}  // namespace iprism::sim

@@ -1,0 +1,29 @@
+// Behavior: the scripted control policy of a non-ego actor. Behaviors
+// observe the whole world (scenario scripts are omniscient by design — they
+// exist to create precisely-timed safety threats) and emit a Control each
+// step.
+#pragma once
+
+#include <memory>
+
+#include "dynamics/state.hpp"
+
+namespace iprism::sim {
+
+class World;
+struct Actor;
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Control for `self` at the world's current time. Called once per step,
+  /// before any state advances (synchronous update).
+  virtual dynamics::Control decide(const Actor& self, const World& world) = 0;
+
+  /// Deep copy, including mutable script state (trigger latches etc.), so a
+  /// cloned world replays identically.
+  virtual std::unique_ptr<Behavior> clone() const = 0;
+};
+
+}  // namespace iprism::sim

@@ -1,0 +1,180 @@
+#include "sim/behaviors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/queries.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::sim {
+
+double approach_angle_for_lateral_speed(double lateral_speed, double forward_speed) {
+  const double ratio = std::clamp(lateral_speed / std::max(forward_speed, 0.5), 0.0, 0.9);
+  return std::asin(ratio);
+}
+
+dynamics::Control lane_keep_control(const World& world, const Actor& self, int target_lane,
+                                    double target_speed, double max_approach_angle) {
+  const auto& map = world.map();
+  const geom::Vec2 pos = self.state.position();
+  const double s = map.arclength(pos);
+  const double d = map.lateral(pos);
+  const double d_target = map.lane_center_offset(target_lane);
+  const double lane_heading = map.heading_at(s);
+
+  // Steering: aim at a heading offset proportional to the lateral error,
+  // capped by the approach angle; then a proportional controller on heading.
+  constexpr double kLateralGain = 0.35;   // rad per metre of lateral error
+  constexpr double kHeadingGain = 2.5;    // steer per rad of heading error
+  constexpr double kSpeedGain = 1.2;      // accel per m/s of speed error
+  const double offset_cmd =
+      std::clamp(kLateralGain * (d_target - d), -max_approach_angle, max_approach_angle);
+  const double desired_heading = geom::wrap_angle(lane_heading + offset_cmd);
+  const double heading_err = geom::angle_diff(desired_heading, self.state.heading);
+
+  // Curvature feedforward: on curved roads a pure proportional law has a
+  // persistent heading error and spirals off the lane.
+  const double kWheelbase = 2.7;  // matches the world's vehicle model
+  const double steer_ff =
+      std::atan(kWheelbase * map.curvature_at(s, d_target));
+
+  dynamics::Control u;
+  u.steer = std::clamp(steer_ff + kHeadingGain * heading_err, -0.5, 0.5);
+  u.accel = kSpeedGain * (target_speed - self.state.speed);
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// LaneFollowBehavior
+
+dynamics::Control LaneFollowBehavior::decide(const Actor& self, const World& world) {
+  dynamics::Control u = lane_keep_control(world, self, p_.lane, p_.target_speed);
+  if (p_.keep_gap) {
+    if (auto lead = lead_in_lane(world, self, p_.lane)) {
+      const double desired = self.state.speed * p_.time_headway + p_.min_gap;
+      if (lead->gap < desired) {
+        // Proportional braking that strengthens as the gap closes.
+        const double severity = std::clamp(1.0 - lead->gap / desired, 0.0, 1.0);
+        const double brake = -2.0 - 6.0 * severity;
+        u.accel = std::min(u.accel, brake * std::max(severity, 0.3));
+      }
+    }
+  }
+  return u;
+}
+
+std::unique_ptr<Behavior> LaneFollowBehavior::clone() const {
+  return std::make_unique<LaneFollowBehavior>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// CutInBehavior
+
+dynamics::Control CutInBehavior::decide(const Actor& self, const World& world) {
+  if (!triggered_ && world.has_ego()) {
+    const double offset = longitudinal_offset(world, world.ego(), self);
+    switch (p_.mode) {
+      case TriggerMode::kSelfAheadOfEgo:
+        triggered_ = offset >= p_.trigger_offset;
+        break;
+      case TriggerMode::kEgoWithinDistance:
+        triggered_ = offset >= 0.0 && offset <= p_.trigger_offset;
+        break;
+    }
+  }
+  if (!triggered_) {
+    return lane_keep_control(world, self, p_.start_lane, p_.cruise_speed);
+  }
+  const double angle =
+      approach_angle_for_lateral_speed(p_.lateral_speed, self.state.speed);
+  return lane_keep_control(world, self, p_.target_lane, p_.post_speed, angle);
+}
+
+std::unique_ptr<Behavior> CutInBehavior::clone() const {
+  return std::make_unique<CutInBehavior>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// SlowdownBehavior
+
+dynamics::Control SlowdownBehavior::decide(const Actor& self, const World& world) {
+  if (!triggered_ && world.has_ego()) {
+    const double offset = longitudinal_offset(world, world.ego(), self);
+    const double gap = offset - world.ego().dims.length / 2.0 - self.dims.length / 2.0;
+    triggered_ = offset > 0.0 && gap <= p_.trigger_distance;
+  }
+  if (!triggered_) {
+    return lane_keep_control(world, self, p_.lane, p_.cruise_speed);
+  }
+  dynamics::Control u = lane_keep_control(world, self, p_.lane, 0.0);
+  u.accel = -p_.decel;
+  return u;
+}
+
+std::unique_ptr<Behavior> SlowdownBehavior::clone() const {
+  return std::make_unique<SlowdownBehavior>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// RearChaseBehavior
+
+dynamics::Control RearChaseBehavior::decide(const Actor& self, const World& world) {
+  int lane = p_.lane;
+  if (p_.track_ego_lane && world.has_ego()) {
+    const int ego_lane = lane_of(world, world.ego());
+    if (ego_lane >= 0) lane = ego_lane;
+  }
+  return lane_keep_control(world, self, lane, p_.speed);
+}
+
+std::unique_ptr<Behavior> RearChaseBehavior::clone() const {
+  return std::make_unique<RearChaseBehavior>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// MergeColliderBehavior
+
+dynamics::Control MergeColliderBehavior::decide(const Actor& self, const World& world) {
+  IPRISM_CHECK(world.has_actor(p_.partner_id), "MergeColliderBehavior: unknown partner");
+  if (!triggered_) {
+    const double offset = longitudinal_offset(world, self, world.actor(p_.partner_id));
+    triggered_ = std::abs(offset) <= p_.trigger_offset;
+  }
+  if (!triggered_) {
+    return lane_keep_control(world, self, p_.start_lane, p_.speed);
+  }
+  const double angle =
+      approach_angle_for_lateral_speed(p_.lateral_speed, self.state.speed);
+  return lane_keep_control(world, self, p_.target_lane, p_.speed, angle);
+}
+
+std::unique_ptr<Behavior> MergeColliderBehavior::clone() const {
+  return std::make_unique<MergeColliderBehavior>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// PedestrianCrossBehavior
+
+dynamics::Control PedestrianCrossBehavior::decide(const Actor& self, const World& world) {
+  if (!walking_ && world.has_ego()) {
+    const double offset = longitudinal_offset(world, world.ego(), self);
+    walking_ = offset > 0.0 && offset <= p_.trigger_distance;
+  }
+  dynamics::Control u;
+  if (!walking_) {
+    u.accel = -3.0;  // stand still
+    return u;
+  }
+  // Turn toward the crossing heading, then walk.
+  const double heading_err = geom::angle_diff(p_.walk_heading, self.state.heading);
+  u.steer = std::clamp(4.0 * heading_err, -3.0, 3.0);  // yaw rate for pedestrians
+  u.accel = 2.0 * (p_.walk_speed - self.state.speed);
+  return u;
+}
+
+std::unique_ptr<Behavior> PedestrianCrossBehavior::clone() const {
+  return std::make_unique<PedestrianCrossBehavior>(*this);
+}
+
+}  // namespace iprism::sim

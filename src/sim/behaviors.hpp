@@ -1,0 +1,168 @@
+// Concrete Behavior scripts. Between them these express every actor role in
+// the paper's five NHTSA pre-crash typologies (§IV-B1, Fig. 3) plus the
+// benign rule-abiding traffic of the synthetic "recorded log" dataset:
+//
+//   LaneFollowBehavior      benign traffic / lead vehicles / rear-end fillers
+//   CutInBehavior           ghost cut-in and lead cut-in threats
+//   SlowdownBehavior        lead slowdown threat
+//   RearChaseBehavior       rear-end threat (approaches ego from behind)
+//   MergeColliderBehavior   front accident (two NPCs collide ahead of ego)
+//   PedestrianCrossBehavior dataset case study (pedestrian crossing)
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "sim/behavior.hpp"
+
+namespace iprism::sim {
+
+/// Lane-keeping control law shared by all vehicle behaviors and the driving
+/// agents: proportional steering toward the target lane centre plus
+/// proportional speed control. `max_approach_angle` caps the heading the
+/// controller will take relative to the lane direction, which fixes the
+/// lateral speed of lane changes (aggressiveness knob).
+dynamics::Control lane_keep_control(const World& world, const Actor& self, int target_lane,
+                                    double target_speed,
+                                    double max_approach_angle = 0.18);
+
+/// Converts a desired lateral speed into the approach-angle cap that
+/// lane_keep_control expects, given the current forward speed.
+double approach_angle_for_lateral_speed(double lateral_speed, double forward_speed);
+
+/// Follows a lane at a target speed; optionally keeps a time-headway gap to
+/// the lead vehicle in its lane (benign traffic does, threat actors do not).
+class LaneFollowBehavior final : public Behavior {
+ public:
+  struct Params {
+    int lane = 0;
+    double target_speed = 8.0;
+    bool keep_gap = false;
+    double time_headway = 1.2;   ///< desired gap = speed * headway + min_gap
+    double min_gap = 5.0;
+  };
+  explicit LaneFollowBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+ private:
+  Params p_;
+};
+
+/// Cuts from its own lane into the target (ego) lane when a longitudinal
+/// trigger fires, then follows that lane at `post_speed`. Covers both
+/// cut-in typologies:
+///   - ghost cut-in:  TriggerMode::kSelfAheadOfEgo — the actor approaches
+///     from behind in the adjacent lane and cuts once it has pulled
+///     `trigger_offset` metres ahead of the ego;
+///   - lead cut-in:   TriggerMode::kEgoWithinDistance — the actor drives
+///     ahead in the adjacent lane and cuts once the ego closes to within
+///     `trigger_offset` metres.
+class CutInBehavior final : public Behavior {
+ public:
+  enum class TriggerMode { kSelfAheadOfEgo, kEgoWithinDistance };
+  struct Params {
+    int start_lane = 0;
+    int target_lane = 1;
+    TriggerMode mode = TriggerMode::kSelfAheadOfEgo;
+    double trigger_offset = 2.0;   ///< metres; see TriggerMode semantics
+    double cruise_speed = 11.0;    ///< speed before the cut
+    double post_speed = 6.0;       ///< speed after/during the cut
+    double lateral_speed = 2.0;    ///< metres/second across the lane line
+  };
+  explicit CutInBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+  bool triggered() const { return triggered_; }
+
+ private:
+  Params p_;
+  bool triggered_ = false;
+};
+
+/// Drives ahead of the ego in the same lane, then brakes to a stop when the
+/// ego closes to within the trigger distance (lead slowdown typology).
+class SlowdownBehavior final : public Behavior {
+ public:
+  struct Params {
+    int lane = 1;
+    double cruise_speed = 6.0;
+    double trigger_distance = 25.0;  ///< ego gap that triggers braking
+    double decel = 5.0;              ///< braking rate once triggered
+  };
+  explicit SlowdownBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+  bool triggered() const { return triggered_; }
+
+ private:
+  Params p_;
+  bool triggered_ = false;
+};
+
+/// Approaches the ego from behind in the ego's lane at high speed and does
+/// not yield (rear-end typology). Steers toward the ego's current lane so
+/// late ego lane changes do not trivially dodge it.
+class RearChaseBehavior final : public Behavior {
+ public:
+  struct Params {
+    double speed = 16.0;
+    bool track_ego_lane = true;
+    int lane = 1;  ///< used when track_ego_lane is false
+  };
+  explicit RearChaseBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+ private:
+  Params p_;
+};
+
+/// Merges into a partner actor's lane to create a non-ego collision ahead
+/// of the ego (front-accident typology). The partner simply lane-follows.
+class MergeColliderBehavior final : public Behavior {
+ public:
+  struct Params {
+    int start_lane = 0;
+    int target_lane = 1;
+    int partner_id = -1;           ///< actor to merge into (checked at run time)
+    double trigger_offset = 4.0;   ///< merge when partner within this many metres ahead
+    double speed = 9.0;
+    double lateral_speed = 2.5;
+  };
+  explicit MergeColliderBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+ private:
+  Params p_;
+  bool triggered_ = false;
+};
+
+/// Pedestrian: stands at the roadside until the ego approaches within the
+/// trigger distance, then walks straight across the road.
+class PedestrianCrossBehavior final : public Behavior {
+ public:
+  struct Params {
+    double trigger_distance = 30.0;
+    double walk_speed = 1.4;
+    double walk_heading = M_PI / 2.0;  ///< crossing direction
+  };
+  explicit PedestrianCrossBehavior(const Params& p) : p_(p) {}
+
+  dynamics::Control decide(const Actor& self, const World& world) override;
+  std::unique_ptr<Behavior> clone() const override;
+
+ private:
+  Params p_;
+  bool walking_ = false;
+};
+
+}  // namespace iprism::sim

@@ -1,0 +1,99 @@
+#include "sim/queries.hpp"
+
+#include <cmath>
+
+namespace iprism::sim {
+namespace {
+
+/// Longitudinal speed of an actor along the lane direction at its position.
+double lane_speed(const World& world, const Actor& a) {
+  const double lane_heading = world.map().heading_at(world.map().arclength(a.state.position()));
+  return a.state.speed * std::cos(geom::angle_diff(a.state.heading, lane_heading));
+}
+
+/// Half-length projected on the lane direction (approximate bumper offset).
+double half_len(const Actor& a) { return a.dims.length / 2.0; }
+
+}  // namespace
+
+int lane_of(const World& world, const Actor& actor) {
+  return world.map().lane_at(actor.state.position());
+}
+
+double longitudinal_offset(const World& world, const Actor& from, const Actor& other) {
+  const auto& map = world.map();
+  double delta = map.arclength(other.state.position()) - map.arclength(from.state.position());
+  // On a ring the offset wraps; take the representation in [-L/2, L/2).
+  const double length = map.road_length();
+  if (delta > length / 2.0) delta -= length;
+  if (delta < -length / 2.0) delta += length;
+  return delta;
+}
+
+namespace {
+
+std::optional<Neighbor> scan_lane(const World& world, const Actor& from, int lane,
+                                  double max_range, bool ahead) {
+  std::optional<Neighbor> best;
+  for (const Actor& other : world.actors()) {
+    if (other.id == from.id) continue;
+    if (lane_of(world, other) != lane) continue;
+    const double offset = longitudinal_offset(world, from, other);
+    if (ahead && offset <= 0.0) continue;
+    if (!ahead && offset >= 0.0) continue;
+    const double gap = std::abs(offset) - half_len(from) - half_len(other);
+    if (gap > max_range) continue;
+    if (!best || gap < best->gap) {
+      Neighbor n;
+      n.actor_id = other.id;
+      n.gap = gap;
+      const double v_from = lane_speed(world, from);
+      const double v_other = lane_speed(world, other);
+      n.closing_speed = ahead ? (v_from - v_other) : (v_other - v_from);
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<Neighbor> lead_in_lane(const World& world, const Actor& from, int lane,
+                                     double max_range) {
+  return scan_lane(world, from, lane, max_range, /*ahead=*/true);
+}
+
+std::optional<Neighbor> rear_in_lane(const World& world, const Actor& from, int lane,
+                                     double max_range) {
+  return scan_lane(world, from, lane, max_range, /*ahead=*/false);
+}
+
+std::optional<Neighbor> closest_in_path(const World& world, const Actor& from,
+                                        double max_range) {
+  const auto& map = world.map();
+  const double from_d = map.lateral(from.state.position());
+  const double corridor = from.dims.width / 2.0;
+  std::optional<Neighbor> best;
+  for (const Actor& other : world.actors()) {
+    if (other.id == from.id) continue;
+    const double offset = longitudinal_offset(world, from, other);
+    if (offset <= 0.0) continue;
+    // Lateral overlap of footprints against the ego's straight-ahead corridor.
+    const double other_d = map.lateral(other.state.position());
+    const double overlap =
+        corridor + other.dims.width / 2.0 - std::abs(other_d - from_d);
+    if (overlap <= 0.0) continue;
+    const double gap = offset - half_len(from) - half_len(other);
+    if (gap > max_range) continue;
+    if (!best || gap < best->gap) {
+      Neighbor n;
+      n.actor_id = other.id;
+      n.gap = gap;
+      n.closing_speed = lane_speed(world, from) - lane_speed(world, other);
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace iprism::sim

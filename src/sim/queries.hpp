@@ -1,0 +1,44 @@
+// Read-only world queries shared by behaviors, agents, and risk metrics:
+// lane-relative neighbour lookup (lead / rear actor, gaps, closing speeds).
+// All longitudinal quantities are Frenet arclengths on the world's map;
+// gaps are bumper-to-bumper (footprints subtracted).
+#pragma once
+
+#include <optional>
+
+#include "sim/world.hpp"
+
+namespace iprism::sim {
+
+/// A neighbour relative to a query actor.
+struct Neighbor {
+  int actor_id = -1;
+  /// Bumper-to-bumper longitudinal gap, metres (>= 0 unless overlapping).
+  double gap = 0.0;
+  /// Closing speed: positive when the gap is shrinking.
+  double closing_speed = 0.0;
+};
+
+/// Lane index of an actor on the world's map (-1 if off-road).
+int lane_of(const World& world, const Actor& actor);
+
+/// Nearest actor ahead of `from` in the given lane within `max_range`
+/// metres of longitudinal gap. Skips `from` itself.
+std::optional<Neighbor> lead_in_lane(const World& world, const Actor& from, int lane,
+                                     double max_range = 120.0);
+
+/// Nearest actor behind `from` in the given lane within `max_range`.
+std::optional<Neighbor> rear_in_lane(const World& world, const Actor& from, int lane,
+                                     double max_range = 120.0);
+
+/// Longitudinal (arclength) offset of `other` relative to `from`
+/// (positive = ahead of `from` in the travel direction).
+double longitudinal_offset(const World& world, const Actor& from, const Actor& other);
+
+/// An in-path actor (paper footnote 6): its current lane-projected position
+/// lies ahead of `from` with lateral overlap against `from`'s lane corridor.
+/// Returns the nearest such actor.
+std::optional<Neighbor> closest_in_path(const World& world, const Actor& from,
+                                        double max_range = 120.0);
+
+}  // namespace iprism::sim

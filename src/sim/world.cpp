@@ -1,0 +1,155 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace iprism::sim {
+
+World::World(roadmap::MapPtr map, double dt) : map_(std::move(map)), dt_(dt) {
+  IPRISM_CHECK(map_ != nullptr, "World: map must not be null");
+  IPRISM_CHECK(dt > 0.0, "World: dt must be positive");
+}
+
+World World::clone() const {
+  World copy(map_, dt_);
+  copy.time_ = time_;
+  copy.step_count_ = step_count_;
+  copy.ego_index_ = ego_index_;
+  copy.next_id_ = next_id_;
+  copy.collisions_ = collisions_;
+  copy.vehicle_model_ = vehicle_model_;
+  copy.npc_limits_ = npc_limits_;
+  copy.ego_limits_ = ego_limits_;
+  copy.actors_.reserve(actors_.size());
+  for (const Actor& a : actors_) {
+    Actor b;
+    b.id = a.id;
+    b.kind = a.kind;
+    b.dims = a.dims;
+    b.state = a.state;
+    b.prev_state = a.prev_state;
+    b.behavior = a.behavior ? a.behavior->clone() : nullptr;
+    b.crashed = a.crashed;
+    copy.actors_.push_back(std::move(b));
+  }
+  return copy;
+}
+
+int World::add_actor(Actor actor) {
+  if (actor.kind == ActorKind::kEgo) {
+    IPRISM_CHECK(ego_index_ < 0, "World: only one ego actor allowed");
+    ego_index_ = static_cast<int>(actors_.size());
+  }
+  actor.id = next_id_++;
+  actor.prev_state = actor.state;
+  actors_.push_back(std::move(actor));
+  return actors_.back().id;
+}
+
+int World::add_ego(const dynamics::VehicleState& state, const dynamics::Dimensions& dims) {
+  Actor ego;
+  ego.kind = ActorKind::kEgo;
+  ego.state = state;
+  ego.dims = dims;
+  return add_actor(std::move(ego));
+}
+
+const Actor& World::ego() const {
+  IPRISM_CHECK(ego_index_ >= 0, "World: no ego actor");
+  return actors_[static_cast<std::size_t>(ego_index_)];
+}
+
+int World::ego_id() const { return ego().id; }
+
+const Actor& World::actor(int id) const {
+  for (const Actor& a : actors_) {
+    if (a.id == id) return a;
+  }
+  IPRISM_CHECK(false, "World: unknown actor id");
+  std::abort();  // unreachable; IPRISM_CHECK throws
+}
+
+bool World::has_actor(int id) const {
+  return std::any_of(actors_.begin(), actors_.end(),
+                     [id](const Actor& a) { return a.id == id; });
+}
+
+bool World::ego_collided() const { return ego_collision_time().has_value(); }
+
+std::optional<double> World::ego_collision_time() const {
+  if (ego_index_ < 0) return std::nullopt;
+  const int id = ego().id;
+  for (const CollisionEvent& c : collisions_) {
+    if (c.actor_a == id || c.actor_b == id) return c.time;
+  }
+  return std::nullopt;
+}
+
+bool World::npc_collision_occurred() const {
+  const int id = ego_index_ >= 0 ? ego().id : -1;
+  return std::any_of(collisions_.begin(), collisions_.end(), [id](const CollisionEvent& c) {
+    return c.actor_a != id && c.actor_b != id;
+  });
+}
+
+void World::integrate(Actor& actor, const dynamics::Control& u) {
+  actor.prev_state = actor.state;
+  if (actor.kind == ActorKind::kPedestrian) {
+    // Holonomic point: `steer` is interpreted as yaw rate, `accel` as speed
+    // change; pedestrians turn in place if needed.
+    dynamics::VehicleState s = actor.state;
+    s.speed = std::clamp(s.speed + u.accel * dt_, 0.0, 3.0);
+    s.heading = geom::wrap_angle(s.heading + u.steer * dt_);
+    s.x += s.speed * std::cos(s.heading) * dt_;
+    s.y += s.speed * std::sin(s.heading) * dt_;
+    actor.state = s;
+    return;
+  }
+  actor.state = vehicle_model_.step(actor.state, u, dt_);
+}
+
+void World::step(std::optional<dynamics::Control> ego_control) {
+  // Phase 1: all decisions from the pre-step state (synchronous update).
+  std::vector<dynamics::Control> controls(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    Actor& a = actors_[i];
+    if (a.crashed) {
+      // Wreckage: hard stop, no steering.
+      controls[i] = {npc_limits_.accel_min, 0.0};
+    } else if (a.kind == ActorKind::kEgo) {
+      controls[i] = ego_control ? ego_limits_.clamp(*ego_control) : dynamics::Control{};
+    } else if (a.behavior) {
+      controls[i] = npc_limits_.clamp(a.behavior->decide(a, *this));
+    } else {
+      controls[i] = {};
+    }
+  }
+
+  // Phase 2: integrate.
+  for (std::size_t i = 0; i < actors_.size(); ++i) integrate(actors_[i], controls[i]);
+
+  time_ += dt_;
+  ++step_count_;
+
+  // Phase 3: collisions at the post-step poses.
+  detect_collisions();
+}
+
+void World::detect_collisions() {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    for (std::size_t j = i + 1; j < actors_.size(); ++j) {
+      Actor& a = actors_[i];
+      Actor& b = actors_[j];
+      if (a.crashed && b.crashed) continue;  // already wreckage
+      if (a.footprint().intersects(b.footprint())) {
+        a.crashed = true;
+        b.crashed = true;
+        collisions_.push_back({time_, std::min(a.id, b.id), std::max(a.id, b.id)});
+      }
+    }
+  }
+}
+
+}  // namespace iprism::sim

@@ -1,0 +1,95 @@
+// The traffic world: a fixed-step, deterministic 2-D simulator that stands
+// in for CARLA (substitution documented in DESIGN.md §2). Vehicles follow
+// the kinematic bicycle model; pedestrians are holonomic points; collisions
+// are exact OBB overlaps. The ego actor is driven externally by a
+// DrivingAgent; all other actors are driven by their Behavior scripts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynamics/bicycle.hpp"
+#include "dynamics/state.hpp"
+#include "roadmap/map.hpp"
+#include "sim/actor.hpp"
+#include "sim/behavior.hpp"
+
+namespace iprism::sim {
+
+/// A collision between two actors (ids ordered a < b).
+struct CollisionEvent {
+  double time = 0.0;
+  int actor_a = -1;
+  int actor_b = -1;
+};
+
+class World {
+ public:
+  /// dt must be positive (checked); 0.1 s matches the evaluation setup.
+  World(roadmap::MapPtr map, double dt = 0.1);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  /// Deep copy (behaviors cloned) for counterfactual replay.
+  World clone() const;
+
+  /// Adds an actor and returns its id. At most one ego (checked).
+  int add_actor(Actor actor);
+
+  /// Convenience: adds the ego vehicle (no behavior; driven externally).
+  int add_ego(const dynamics::VehicleState& state,
+              const dynamics::Dimensions& dims = {});
+
+  /// Advances one step: behaviors decide, states integrate, collisions
+  /// resolve. `ego_control` is applied to the ego if one exists (clamped to
+  /// `ego_limits()`); pass std::nullopt to hold the ego's current speed.
+  void step(std::optional<dynamics::Control> ego_control);
+
+  double time() const { return time_; }
+  double dt() const { return dt_; }
+  int step_count() const { return step_count_; }
+  const roadmap::DrivableMap& map() const { return *map_; }
+  roadmap::MapPtr map_ptr() const { return map_; }
+
+  bool has_ego() const { return ego_index_ >= 0; }
+  const Actor& ego() const;
+  int ego_id() const;
+
+  const std::vector<Actor>& actors() const { return actors_; }
+  const Actor& actor(int id) const;
+  bool has_actor(int id) const;
+
+  const std::vector<CollisionEvent>& collisions() const { return collisions_; }
+  /// True once the ego has been involved in any collision.
+  bool ego_collided() const;
+  /// Time of the first ego collision; empty if none.
+  std::optional<double> ego_collision_time() const;
+  /// True if a collision not involving the ego has occurred.
+  bool npc_collision_occurred() const;
+
+  const dynamics::ControlLimits& ego_limits() const { return ego_limits_; }
+  void set_ego_limits(const dynamics::ControlLimits& limits) { ego_limits_ = limits; }
+
+  const dynamics::BicycleModel& vehicle_model() const { return vehicle_model_; }
+
+ private:
+  void integrate(Actor& actor, const dynamics::Control& u);
+  void detect_collisions();
+
+  roadmap::MapPtr map_;
+  double dt_;
+  double time_ = 0.0;
+  int step_count_ = 0;
+  std::vector<Actor> actors_;
+  int ego_index_ = -1;
+  int next_id_ = 0;
+  std::vector<CollisionEvent> collisions_;
+  dynamics::BicycleModel vehicle_model_{};
+  dynamics::ControlLimits npc_limits_{-8.0, 4.0, -0.6, 0.6};
+  dynamics::ControlLimits ego_limits_{};
+};
+
+}  // namespace iprism::sim

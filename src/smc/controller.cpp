@@ -1,0 +1,82 @@
+#include "smc/controller.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/behaviors.hpp"
+#include "sim/queries.hpp"
+#include "smc/features.hpp"
+
+namespace iprism::smc {
+
+std::optional<dynamics::Control> apply_smc_action(SmcAction action,
+                                                  const sim::World& world,
+                                                  const dynamics::Control& nominal,
+                                                  const SmcControlParams& params) {
+  switch (action) {
+    case SmcAction::kNoOp:
+      return std::nullopt;
+    case SmcAction::kBrake:
+      return dynamics::Control{params.brake_accel, nominal.steer};
+    case SmcAction::kAccelerate:
+      return dynamics::Control{params.accel_accel, nominal.steer};
+    case SmcAction::kLaneChangeLeft:
+    case SmcAction::kLaneChangeRight: {
+      const sim::Actor& ego = world.ego();
+      const int current = sim::lane_of(world, ego);
+      if (current < 0) return std::nullopt;
+      const int target =
+          current + (action == SmcAction::kLaneChangeLeft ? 1 : -1);
+      if (target < 0 || target >= world.map().lane_count()) return std::nullopt;
+      // Full control override: steer toward the adjacent lane while holding
+      // the current speed (the ADS would otherwise fight the manoeuvre —
+      // the integration conflict the paper's future-work section names).
+      return sim::lane_keep_control(world, ego, target, ego.state.speed,
+                                    params.lane_change_angle);
+    }
+  }
+  return std::nullopt;
+}
+
+SmcController::SmcController(rl::Mlp policy, const SmcControlParams& params)
+    : policy_(std::move(policy)), params_(params), noise_rng_(params.noise_seed) {
+  IPRISM_CHECK(params.feature_noise_std >= 0.0,
+               "SmcController: feature_noise_std must be non-negative");
+  IPRISM_CHECK(policy_.input_size() == kFeatureCount,
+               "SmcController: policy input size != feature count");
+  IPRISM_CHECK(params.decision_period >= 1,
+               "SmcController: decision period must be >= 1");
+}
+
+void SmcController::reset() {
+  noise_rng_ = common::Rng(params_.noise_seed);
+  steps_since_decision_ = 0;
+  held_action_ = SmcAction::kNoOp;
+  first_decision_done_ = false;
+}
+
+SmcAction SmcController::policy_action(std::span<const double> features) const {
+  const std::vector<double> q = policy_.forward(features);
+  const auto best = std::max_element(q.begin(), q.end());
+  return static_cast<SmcAction>(best - q.begin());
+}
+
+std::optional<dynamics::Control> SmcController::intervene(
+    const sim::World& world, const dynamics::Control& nominal) {
+  if (!first_decision_done_ || ++steps_since_decision_ >= params_.decision_period) {
+    std::vector<double> features = extract_features(world);
+    if (params_.feature_noise_std > 0.0) {
+      for (double& f : features) f += noise_rng_.normal(0.0, params_.feature_noise_std);
+    }
+    held_action_ = policy_action(features);
+    steps_since_decision_ = 0;
+    first_decision_done_ = true;
+  }
+  return apply_smc_action(held_action_, world, nominal, params_);
+}
+
+SmcController SmcController::load(std::istream& is, const SmcControlParams& params) {
+  return SmcController(rl::Mlp::load(is), params);
+}
+
+}  // namespace iprism::smc

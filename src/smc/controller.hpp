@@ -1,0 +1,84 @@
+// Safety-hazard Mitigation Controller — inference side (paper §III-B,
+// Eq. 10). Holds a trained Q-network; each decision step it picks the
+// action with the highest Q-value and, unless that action is No-Op,
+// overrides the ADS's longitudinal control (the paper's implementation
+// "augments (in our implementation, overwrites)" the ADS action; steering
+// stays with the ADS because the studied action set is braking /
+// acceleration).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "agents/agent.hpp"
+#include "common/rng.hpp"
+#include "rl/mlp.hpp"
+
+namespace iprism::smc {
+
+/// Discrete mitigation actions (paper §III-B: BR, ACC, No-Op; LCL/LCR are
+/// the paper's named future work, implemented here as an optional extended
+/// action set — see ablation_smc_actions).
+enum class SmcAction : int {
+  kNoOp = 0,
+  kBrake = 1,
+  kAccelerate = 2,
+  kLaneChangeLeft = 3,
+  kLaneChangeRight = 4,
+};
+
+/// Number of actions for a given action-set configuration.
+inline constexpr int kActionCountBrakeOnly = 2;     ///< {No-Op, BR}
+inline constexpr int kActionCountBrakeAccel = 3;    ///< {No-Op, BR, ACC}
+inline constexpr int kActionCountFull = 5;          ///< + {LCL, LCR}
+
+struct SmcControlParams {
+  double brake_accel = -6.0;
+  double accel_accel = 3.0;
+  /// Lane-change lateral aggressiveness (approach-angle cap, radians).
+  double lane_change_angle = 0.28;
+  /// SMC decision period in simulator steps (action held in between).
+  int decision_period = 2;
+  /// Observation-noise injection: Gaussian noise of this standard deviation
+  /// is added to every feature before the Q-network sees it (0 = clean).
+  /// Used by the sensor-robustness ablation; deterministic per seed.
+  double feature_noise_std = 0.0;
+  std::uint64_t noise_seed = 97;
+};
+
+/// Maps a mitigation action onto a control override given the ADS's nominal
+/// control. No-Op — and a lane change with no lane on that side — yields
+/// std::nullopt (the ADS keeps control). Shared by the controller and the
+/// trainer so training and deployment act identically.
+std::optional<dynamics::Control> apply_smc_action(SmcAction action,
+                                                  const sim::World& world,
+                                                  const dynamics::Control& nominal,
+                                                  const SmcControlParams& params);
+
+class SmcController final : public agents::MitigationController {
+ public:
+  SmcController(rl::Mlp policy, const SmcControlParams& params = {});
+
+  std::optional<dynamics::Control> intervene(const sim::World& world,
+                                             const dynamics::Control& nominal) override;
+  void reset() override;
+  std::string_view name() const override { return "SMC"; }
+
+  /// Q-greedy action for a feature vector (Eq. 10).
+  SmcAction policy_action(std::span<const double> features) const;
+
+  const rl::Mlp& policy() const { return policy_; }
+
+  void save(std::ostream& os) const { policy_.save(os); }
+  static SmcController load(std::istream& is, const SmcControlParams& params = {});
+
+ private:
+  rl::Mlp policy_;
+  SmcControlParams params_;
+  common::Rng noise_rng_;
+  int steps_since_decision_ = 0;
+  SmcAction held_action_ = SmcAction::kNoOp;
+  bool first_decision_done_ = false;
+};
+
+}  // namespace iprism::smc

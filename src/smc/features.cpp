@@ -1,0 +1,74 @@
+#include "smc/features.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/queries.hpp"
+
+namespace iprism::smc {
+namespace {
+
+constexpr double kGapScale = 60.0;      // metres
+constexpr double kClosingScale = 12.0;  // m/s
+constexpr double kSpeedScale = 20.0;    // m/s
+
+void push_neighbor(std::vector<double>& f, const std::optional<sim::Neighbor>& n) {
+  if (n) {
+    f.push_back(1.0);  // present
+    f.push_back(std::clamp(n->gap / kGapScale, 0.0, 1.0));
+    f.push_back(std::clamp(n->closing_speed / kClosingScale, -1.0, 1.0));
+  } else {
+    f.push_back(0.0);
+    f.push_back(1.0);  // "far away"
+    f.push_back(0.0);
+  }
+}
+
+}  // namespace
+
+std::vector<double> extract_features(const sim::World& world) {
+  const sim::Actor& ego = world.ego();
+  const auto& map = world.map();
+  std::vector<double> f;
+  f.reserve(kFeatureCount);
+
+  f.push_back(std::clamp(ego.state.speed / kSpeedScale, 0.0, 1.0));
+  const int ego_lane = std::max(sim::lane_of(world, ego), 0);
+  const double lane_center = map.lane_center_offset(ego_lane);
+  f.push_back(std::clamp(
+      (map.lateral(ego.state.position()) - lane_center) / map.lane_width(), -1.0, 1.0));
+
+  // Same-lane blocks first.
+  push_neighbor(f, sim::lead_in_lane(world, ego, ego_lane));
+  push_neighbor(f, sim::rear_in_lane(world, ego, ego_lane));
+
+  // Side lanes are presented in *threat order*, not left/right order, so a
+  // policy trained against a threat on one side transfers to the mirror
+  // scenario (the typologies draw the threat side per instance).
+  struct Side {
+    std::optional<sim::Neighbor> ahead;
+    std::optional<sim::Neighbor> behind;
+    double threat = 0.0;
+  };
+  auto score = [](const std::optional<sim::Neighbor>& n) {
+    if (!n) return 0.0;
+    return (1.0 + std::max(n->closing_speed, 0.0)) / (std::max(n->gap, 0.0) + 1.0);
+  };
+  std::array<Side, 2> sides;
+  for (int k = 0; k < 2; ++k) {
+    const int lane = ego_lane + (k == 0 ? -1 : 1);
+    if (lane >= 0 && lane < map.lane_count()) {
+      sides[k].ahead = sim::lead_in_lane(world, ego, lane);
+      sides[k].behind = sim::rear_in_lane(world, ego, lane);
+    }
+    sides[k].threat = std::max(score(sides[k].ahead), score(sides[k].behind));
+  }
+  if (sides[1].threat > sides[0].threat) std::swap(sides[0], sides[1]);
+  for (const Side& side : sides) {
+    push_neighbor(f, side.ahead);
+    push_neighbor(f, side.behind);
+  }
+  return f;
+}
+
+}  // namespace iprism::smc

@@ -1,0 +1,24 @@
+// SMC state features S_t.
+//
+// The paper feeds three camera frames through the LBC backbone CNN; this
+// library substitutes the equivalent engineered observation (DESIGN.md §2):
+// an ego-centric summary of the three lanes around the ego — gap, closing
+// speed, and presence of the nearest actor ahead and behind per lane — plus
+// ego speed and lane offset. This carries exactly the information the CNN
+// extracts for a 2-D traffic scene, and keeps the decision problem (actions,
+// reward, D-DQN) identical.
+#pragma once
+
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace iprism::smc {
+
+/// Dimension of the feature vector.
+inline constexpr int kFeatureCount = 2 + 3 * 2 * 3;  // ego(2) + 3 lanes x 2 dirs x 3
+
+/// Extracts the normalized feature vector for the current world state.
+std::vector<double> extract_features(const sim::World& world);
+
+}  // namespace iprism::smc

@@ -1,0 +1,22 @@
+#include "smc/reward.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace iprism::smc {
+
+double smc_reward(const RewardParams& p, double sti_combined, double progress,
+                  double interval, bool mitigated) {
+  IPRISM_CHECK(interval > 0.0, "smc_reward: interval must be positive");
+  double r = 0.0;
+  if (p.use_sti) {
+    r += p.alpha0 * (1.0 - std::clamp(sti_combined, 0.0, 1.0));
+  }
+  const double ideal = std::max(p.cruise_speed * interval, 1e-6);
+  r += p.alpha1 * std::clamp(progress / ideal, -0.5, 1.25);
+  if (mitigated) r += p.alpha2;
+  return r;
+}
+
+}  // namespace iprism::smc

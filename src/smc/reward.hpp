@@ -1,0 +1,27 @@
+// SMC reward model (paper Eq. 8):
+//
+//   r_t = alpha0 * (1 - STI_combined) + alpha1 * r_pc + alpha2 * p_am
+//
+// where r_pc rewards path completion (longitudinal progress normalized by
+// the cruise distance per decision) and p_am = 1[a != No-Op] penalizes
+// mitigation activations. alpha2 is negative. The ablation agent
+// ("SMC w/o STI", Table III) simply drops the alpha0 term.
+#pragma once
+
+namespace iprism::smc {
+
+struct RewardParams {
+  double alpha0 = 1.0;    ///< weight on (1 - STI_combined)
+  double alpha1 = 0.6;    ///< weight on path completion
+  double alpha2 = -0.35;  ///< penalty per activated mitigation (negative)
+  bool use_sti = true;    ///< false = the Table III ablation
+  double cruise_speed = 8.0;
+};
+
+/// Reward for one decision interval.
+/// `progress` is the ego's longitudinal progress over the interval (m),
+/// `interval` its duration (s), `mitigated` whether a non-No-Op action ran.
+double smc_reward(const RewardParams& p, double sti_combined, double progress,
+                  double interval, bool mitigated);
+
+}  // namespace iprism::smc

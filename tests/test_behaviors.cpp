@@ -1,0 +1,215 @@
+#include "sim/behaviors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "roadmap/straight_road.hpp"
+#include "sim/queries.hpp"
+#include "sim/world.hpp"
+
+namespace iprism::sim {
+namespace {
+
+roadmap::MapPtr test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 800.0);
+}
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+Actor vehicle(double x, double y, double speed, std::unique_ptr<Behavior> b) {
+  Actor a;
+  a.kind = ActorKind::kVehicle;
+  a.state = state(x, y, speed);
+  a.behavior = std::move(b);
+  return a;
+}
+
+TEST(ApproachAngle, ScalesWithLateralSpeed) {
+  EXPECT_NEAR(approach_angle_for_lateral_speed(2.0, 10.0), std::asin(0.2), 1e-12);
+  // Caps at asin(0.9) for aggressive ratios / low forward speed.
+  EXPECT_NEAR(approach_angle_for_lateral_speed(50.0, 1.0), std::asin(0.9), 1e-12);
+}
+
+TEST(LaneFollow, ConvergesToLaneCenterAndSpeed) {
+  World w(test_map(), 0.1);
+  LaneFollowBehavior::Params p;
+  p.lane = 1;
+  p.target_speed = 9.0;
+  // Start off-centre in lane 0 with the wrong speed.
+  const int id = w.add_actor(vehicle(10, 1.0, 5.0, std::make_unique<LaneFollowBehavior>(p)));
+  for (int i = 0; i < 150; ++i) w.step(std::nullopt);
+  const Actor& a = w.actor(id);
+  EXPECT_NEAR(a.state.y, 5.25, 0.2);       // lane-1 centre
+  EXPECT_NEAR(a.state.speed, 9.0, 0.2);
+  EXPECT_NEAR(a.state.heading, 0.0, 0.05);
+}
+
+TEST(LaneFollow, KeepsGapToLead) {
+  World w(test_map(), 0.1);
+  LaneFollowBehavior::Params p;
+  p.lane = 1;
+  p.target_speed = 10.0;
+  p.keep_gap = true;
+  const int id = w.add_actor(vehicle(10, 5.25, 10.0, std::make_unique<LaneFollowBehavior>(p)));
+  w.add_actor(vehicle(40, 5.25, 4.0,
+                      std::make_unique<LaneFollowBehavior>(LaneFollowBehavior::Params{
+                          .lane = 1, .target_speed = 4.0})));
+  for (int i = 0; i < 200; ++i) w.step(std::nullopt);
+  EXPECT_TRUE(w.collisions().empty());
+  // Settles near the lead's speed rather than ploughing into it.
+  EXPECT_LT(w.actor(id).state.speed, 6.0);
+}
+
+TEST(CutIn, GhostModeTriggersWhenAheadOfEgo) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8.0));
+  CutInBehavior::Params p;
+  p.start_lane = 0;
+  p.target_lane = 1;
+  p.mode = CutInBehavior::TriggerMode::kSelfAheadOfEgo;
+  p.trigger_offset = 3.0;
+  p.cruise_speed = 12.0;
+  p.post_speed = 6.0;
+  p.lateral_speed = 2.5;
+  auto behavior = std::make_unique<CutInBehavior>(p);
+  const CutInBehavior* watch = behavior.get();
+  const int id = w.add_actor(vehicle(30, 1.75, 12.0, std::move(behavior)));
+  // Approaching from behind in the side lane: no trigger yet.
+  w.step(std::nullopt);
+  EXPECT_FALSE(watch->triggered());
+  for (int i = 0; i < 120; ++i) w.step(std::nullopt);
+  EXPECT_TRUE(watch->triggered());
+  // It must end up in the ego's lane.
+  EXPECT_EQ(lane_of(w, w.actor(id)), 1);
+}
+
+TEST(CutIn, LeadModeTriggersWhenEgoCloses) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 9.0));
+  CutInBehavior::Params p;
+  p.start_lane = 0;
+  p.target_lane = 1;
+  p.mode = CutInBehavior::TriggerMode::kEgoWithinDistance;
+  p.trigger_offset = 20.0;
+  p.cruise_speed = 4.0;
+  p.post_speed = 4.0;
+  p.lateral_speed = 2.0;
+  auto behavior = std::make_unique<CutInBehavior>(p);
+  const CutInBehavior* watch = behavior.get();
+  w.add_actor(vehicle(90, 1.75, 4.0, std::move(behavior)));  // 40 m ahead
+  w.step(std::nullopt);
+  EXPECT_FALSE(watch->triggered());  // too far
+  for (int i = 0; i < 60 && !watch->triggered(); ++i) w.step(std::nullopt);
+  EXPECT_TRUE(watch->triggered());
+}
+
+TEST(Slowdown, BrakesToStopOnceTriggered) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 9.0));
+  SlowdownBehavior::Params p;
+  p.lane = 1;
+  p.cruise_speed = 6.0;
+  p.trigger_distance = 20.0;
+  p.decel = 6.0;
+  auto behavior = std::make_unique<SlowdownBehavior>(p);
+  const SlowdownBehavior* watch = behavior.get();
+  const int id = w.add_actor(vehicle(95, 5.25, 6.0, std::move(behavior)));
+  for (int i = 0; i < 300 && w.actor(id).state.speed > 0.0; ++i) w.step(std::nullopt);
+  EXPECT_TRUE(watch->triggered());
+  EXPECT_DOUBLE_EQ(w.actor(id).state.speed, 0.0);
+}
+
+TEST(RearChase, TracksEgoLaneAndCatchesUp) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(60, 5.25, 8.0));
+  RearChaseBehavior::Params p;
+  p.speed = 15.0;
+  const int id =
+      w.add_actor(vehicle(20, 5.25, 15.0, std::make_unique<RearChaseBehavior>(p)));
+  const double gap0 = 40.0;
+  for (int i = 0; i < 30; ++i) w.step(std::nullopt);  // ego holds speed
+  const double gap1 =
+      w.ego().state.x - w.actor(id).state.x;
+  EXPECT_LT(gap1, gap0);  // closing
+}
+
+TEST(MergeCollider, CollidesWithPartner) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 0.0));
+  LaneFollowBehavior::Params lf;
+  lf.lane = 1;
+  lf.target_speed = 7.0;
+  const int partner =
+      w.add_actor(vehicle(100, 5.25, 7.0, std::make_unique<LaneFollowBehavior>(lf)));
+  MergeColliderBehavior::Params mb;
+  mb.start_lane = 0;
+  mb.target_lane = 1;
+  mb.partner_id = partner;
+  mb.trigger_offset = 5.0;
+  mb.speed = 10.0;
+  w.add_actor(vehicle(70, 1.75, 10.0, std::make_unique<MergeColliderBehavior>(mb)));
+  for (int i = 0; i < 300 && !w.npc_collision_occurred(); ++i) w.step(std::nullopt);
+  EXPECT_TRUE(w.npc_collision_occurred());
+  EXPECT_FALSE(w.ego_collided());
+}
+
+TEST(MergeCollider, ChecksPartnerExists) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 0.0));
+  MergeColliderBehavior::Params mb;
+  mb.partner_id = 777;
+  w.add_actor(vehicle(70, 1.75, 10.0, std::make_unique<MergeColliderBehavior>(mb)));
+  EXPECT_THROW(w.step(std::nullopt), std::invalid_argument);
+}
+
+TEST(PedestrianCross, WaitsForEgoThenCrosses) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(10, 1.75, 8.0));
+  PedestrianCrossBehavior::Params p;
+  p.trigger_distance = 30.0;
+  p.walk_speed = 1.4;
+  Actor ped;
+  ped.kind = ActorKind::kPedestrian;
+  ped.dims = {0.6, 0.6};
+  ped.state = state(70, 0.3, 0.0);
+  ped.state.heading = M_PI / 2.0;
+  ped.behavior = std::make_unique<PedestrianCrossBehavior>(p);
+  const int id = w.add_actor(std::move(ped));
+  // Far away: stands still.
+  for (int i = 0; i < 20; ++i) w.step(std::nullopt);
+  EXPECT_NEAR(w.actor(id).state.y, 0.3, 0.05);
+  // Ego closes within 30 m; the pedestrian starts crossing.
+  for (int i = 0; i < 60; ++i) w.step(std::nullopt);
+  EXPECT_GT(w.actor(id).state.y, 1.0);
+}
+
+TEST(Behaviors, CloneReplaysIdentically) {
+  // The cloned behavior must carry its trigger latch.
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8.0));
+  CutInBehavior::Params p;
+  p.start_lane = 0;
+  p.target_lane = 1;
+  p.trigger_offset = 2.0;
+  p.cruise_speed = 13.0;
+  p.post_speed = 6.0;
+  const int id = w.add_actor(vehicle(35, 1.75, 13.0, std::make_unique<CutInBehavior>(p)));
+  for (int i = 0; i < 60; ++i) w.step(std::nullopt);
+  World copy = w.clone();
+  for (int i = 0; i < 60; ++i) {
+    w.step(std::nullopt);
+    copy.step(std::nullopt);
+  }
+  EXPECT_DOUBLE_EQ(w.actor(id).state.x, copy.actor(id).state.x);
+  EXPECT_DOUBLE_EQ(w.actor(id).state.y, copy.actor(id).state.y);
+}
+
+}  // namespace
+}  // namespace iprism::sim

@@ -1,0 +1,75 @@
+#include "dynamics/cvtr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprism::dynamics {
+namespace {
+
+VehicleState state(double x, double y, double heading, double speed) {
+  VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.heading = heading;
+  s.speed = speed;
+  return s;
+}
+
+TEST(Cvtr, RejectsBadArguments) {
+  const CvtrPredictor p;
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, -1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), state(0, 0, 0, 1), 0.0, 0.0, 1.0, 0.1),
+               std::invalid_argument);
+}
+
+TEST(Cvtr, StraightLinePredictionIsExact) {
+  const CvtrPredictor p;
+  const Trajectory t = p.predict(state(0, 0, 0, 5), 10.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.start_time(), 10.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 12.0);
+  const VehicleState end = t.at(12.0);
+  EXPECT_NEAR(end.x, 10.0, 1e-12);
+  EXPECT_NEAR(end.y, 0.0, 1e-12);
+  EXPECT_NEAR(end.speed, 5.0, 1e-12);
+}
+
+TEST(Cvtr, EstimatesYawRateFromHistory) {
+  const CvtrPredictor p;
+  // Previous heading 0, current 0.1 over 0.1 s -> yaw rate 1 rad/s.
+  const VehicleState prev = state(0, 0, 0.0, 5);
+  const VehicleState now = state(0.5, 0, 0.1, 5);
+  const Trajectory t = p.predict(prev, now, 0.1, 0.0, 1.0, 0.1);
+  EXPECT_NEAR(t.at(1.0).heading, 0.1 + 1.0, 1e-9);
+}
+
+TEST(Cvtr, ConstantTurnTracesCircle) {
+  const CvtrPredictor p;
+  // Yaw rate 0.5 rad/s at 5 m/s -> radius 10 m.
+  const VehicleState prev = state(0, 0, -0.05, 5);
+  const VehicleState now = state(0, 0, 0.0, 5);
+  const Trajectory t = p.predict(prev, now, 0.1, 0.0, 4.0, 0.05);
+  // Every predicted point must lie on the radius-10 circle centred (0, 10).
+  for (const auto& ts : t.samples()) {
+    const double r = std::hypot(ts.state.x - 0.0, ts.state.y - 10.0);
+    ASSERT_NEAR(r, 10.0, 0.02);
+  }
+}
+
+TEST(Cvtr, SampleCountMatchesHorizon) {
+  const CvtrPredictor p;
+  const Trajectory t = p.predict(state(0, 0, 0, 1), 0.0, 3.0, 0.25);
+  EXPECT_EQ(t.size(), 13u);  // 12 steps + initial sample
+}
+
+TEST(Cvtr, StationaryActorStaysPut) {
+  const CvtrPredictor p;
+  const Trajectory t = p.predict(state(4, 5, 1.0, 0.0), 0.0, 2.0, 0.5);
+  const VehicleState end = t.at(2.0);
+  EXPECT_DOUBLE_EQ(end.x, 4.0);
+  EXPECT_DOUBLE_EQ(end.y, 5.0);
+}
+
+}  // namespace
+}  // namespace iprism::dynamics

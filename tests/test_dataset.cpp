@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "dataset/cases.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/scan.hpp"
+#include "roadmap/straight_road.hpp"
+#include "sim/behaviors.hpp"
+
+namespace iprism::dataset {
+namespace {
+
+DatasetParams small_params() {
+  DatasetParams p;
+  p.log_count = 4;
+  p.seconds = 5.0;
+  return p;
+}
+
+TEST(TrafficLog, ValidatesConstruction) {
+  EXPECT_THROW(TrafficLog(nullptr, 0.1), std::invalid_argument);
+  auto map = std::make_shared<roadmap::StraightRoad>(2, 3.5, 100.0);
+  EXPECT_THROW(TrafficLog(map, 0.0), std::invalid_argument);
+}
+
+TEST(TrafficLog, SingleEgoEnforced) {
+  auto map = std::make_shared<roadmap::StraightRoad>(2, 3.5, 100.0);
+  TrafficLog log(map, 0.1);
+  LoggedActor a;
+  a.id = 0;
+  a.is_ego = true;
+  a.trajectory.append(0.0, {});
+  log.add_actor(std::move(a));
+  LoggedActor b;
+  b.id = 1;
+  b.is_ego = true;
+  b.trajectory.append(0.0, {});
+  EXPECT_THROW(log.add_actor(std::move(b)), std::invalid_argument);
+}
+
+TEST(Generator, DeterministicCorpus) {
+  const auto a = generate_dataset(small_params());
+  const auto b = generate_dataset(small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].samples(), b[i].samples());
+    const auto sa = a[i].snapshot_at(a[i].samples() - 1);
+    const auto sb = b[i].snapshot_at(b[i].samples() - 1);
+    EXPECT_DOUBLE_EQ(sa.ego.state.x, sb.ego.state.x);
+  }
+}
+
+TEST(Generator, LogsHaveEgoAndActors) {
+  const auto logs = generate_dataset(small_params());
+  for (const auto& log : logs) {
+    EXPECT_TRUE(log.ego().is_ego);
+    EXPECT_GE(log.actors().size(), 4u);  // ego + >= min_actors
+    EXPECT_EQ(log.samples(), 51);        // 5 s at 10 Hz + initial
+  }
+}
+
+TEST(Generator, BenignTrafficMostlyCollisionFree) {
+  // Rule-abiding traffic: footprint overlaps (crashes) should be absent.
+  DatasetParams p = small_params();
+  p.log_count = 6;
+  p.seconds = 10.0;
+  const auto logs = generate_dataset(p);
+  int overlaps = 0;
+  for (const auto& log : logs) {
+    for (int step = 0; step < log.samples(); step += 5) {
+      const auto scene = log.snapshot_at(step);
+      const auto ego_box = dynamics::footprint(scene.ego.state, scene.ego.dims);
+      for (const auto& o : scene.others) {
+        if (ego_box.intersects(dynamics::footprint(o.state, o.dims))) ++overlaps;
+      }
+    }
+  }
+  EXPECT_EQ(overlaps, 0);
+}
+
+TEST(Scan, ProducesLongTailedDistribution) {
+  DatasetParams p;
+  p.log_count = 10;
+  p.seconds = 8.0;
+  const auto logs = generate_dataset(p);
+  core::ReachTubeParams tube;
+  const core::StiCalculator sti(tube);
+  const StiScanResult scan = scan_logs(logs, sti, /*stride=*/10);
+  ASSERT_FALSE(scan.actor_sti.empty());
+  // Benign corpus: median per-actor STI is zero; tail exists but is small.
+  EXPECT_DOUBLE_EQ(scan.actor_percentile(50.0), 0.0);
+  EXPECT_GE(scan.actor_zero_fraction(), 0.5);
+  EXPECT_LE(scan.actor_percentile(99.0), 1.0);
+  // Combined >= any individual percentile at the same q.
+  EXPECT_GE(scan.combined_percentile(90.0), scan.actor_percentile(90.0));
+}
+
+TEST(Scan, EmptyCorpusYieldsEmptyResult) {
+  const core::StiCalculator sti;
+  const StiScanResult scan = scan_logs({}, sti);
+  EXPECT_TRUE(scan.actor_sti.empty());
+  EXPECT_DOUBLE_EQ(scan.actor_percentile(99.0), 0.0);
+}
+
+TEST(Cases, AllFourScenesBuild) {
+  const auto scenes = build_case_scenes();
+  ASSERT_EQ(scenes.size(), 4u);
+  for (const auto& scene : scenes) {
+    EXPECT_FALSE(scene.name.empty());
+    EXPECT_GT(scene.log.samples(), scene.analysis_step);
+    EXPECT_TRUE(scene.log.ego().is_ego);
+  }
+}
+
+TEST(Cases, RankingsIdentifyTheScriptedThreat) {
+  const auto scenes = build_case_scenes();
+  const core::StiCalculator sti;
+  for (const auto& scene : scenes) {
+    const auto ranked = rank_actors(scene.log, scene.analysis_step, sti);
+    ASSERT_FALSE(ranked.empty()) << scene.name;
+    // Every scene is built so that at least one actor imposes nonzero risk
+    // at the analysis step.
+    EXPECT_GT(ranked.front().sti, 0.05) << scene.name;
+  }
+}
+
+TEST(Cases, RecordLogRequiresEgo) {
+  auto map = std::make_shared<roadmap::StraightRoad>(2, 3.5, 100.0);
+  sim::World w(map, 0.1);
+  sim::LaneFollowBehavior behavior(sim::LaneFollowBehavior::Params{});
+  EXPECT_THROW(record_log(std::move(w), behavior, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprism::dataset

@@ -1,0 +1,105 @@
+#include "core/drac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::core {
+namespace {
+
+std::shared_ptr<roadmap::StraightRoad> test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+SceneSnapshot make_scene(const std::shared_ptr<roadmap::StraightRoad>& map,
+                         double ego_speed = 10.0) {
+  SceneSnapshot scene;
+  scene.map = map.get();
+  scene.ego.id = 0;
+  scene.ego.state.x = 50.0;
+  scene.ego.state.y = 5.25;
+  scene.ego.state.speed = ego_speed;
+  scene.ego.dims = {4.5, 2.0};
+  return scene;
+}
+
+ActorSnapshot other(int id, double x, double y, double speed) {
+  ActorSnapshot a;
+  a.id = id;
+  a.state.x = x;
+  a.state.y = y;
+  a.state.speed = speed;
+  a.dims = {4.5, 2.0};
+  return a;
+}
+
+TEST(Drac, ValidatesParameters) {
+  EXPECT_THROW(DracMetric(0.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(DracMetric(4.0, 3.0), std::invalid_argument);
+}
+
+TEST(Drac, ZeroWithoutClosingInPathActor) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  const DracMetric drac;
+  EXPECT_DOUBLE_EQ(drac.value(scene), 0.0);
+  scene.others.push_back(other(1, 74.5, 5.25, 15.0));  // pulling away
+  EXPECT_DOUBLE_EQ(drac.value(scene), 0.0);
+  EXPECT_DOUBLE_EQ(drac.risk(scene), 0.0);
+}
+
+TEST(Drac, ComputesRequiredDeceleration) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 74.5, 5.25, 4.0));  // gap 20 m, closing 6 m/s
+  const DracMetric drac;
+  EXPECT_NEAR(drac.value(scene), 36.0 / 40.0, 1e-9);
+}
+
+TEST(Drac, RiskThresholdsAndSaturation) {
+  const auto map = test_map();
+  const DracMetric drac(3.5, 8.0);
+  {
+    SceneSnapshot scene = make_scene(map);
+    scene.others.push_back(other(1, 74.5, 5.25, 4.0));  // DRAC 0.9 — comfortable
+    EXPECT_DOUBLE_EQ(drac.risk(scene), 0.0);
+  }
+  {
+    SceneSnapshot scene = make_scene(map, 12.0);
+    scene.others.push_back(other(1, 60.5, 5.25, 0.0));  // gap 6, closing 12 -> 12 m/s^2
+    EXPECT_DOUBLE_EQ(drac.risk(scene), 1.0);  // beyond the braking limit
+  }
+  {
+    SceneSnapshot scene = make_scene(map, 10.0);
+    scene.others.push_back(other(1, 64.5, 5.25, 0.0));  // gap 10, closing 10 -> 5 m/s^2
+    const double r = drac.risk(scene);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+    EXPECT_NEAR(r, (5.0 - 3.5) / 4.5, 1e-9);
+  }
+}
+
+TEST(Drac, BlindToOutOfPathThreat) {
+  // The family weakness STI addresses: a fast side actor produces no DRAC.
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 52.0, 1.75, 14.0));
+  const DracMetric drac;
+  EXPECT_DOUBLE_EQ(drac.risk(scene), 0.0);
+}
+
+TEST(Drac, MonotoneInClosingSpeed) {
+  const auto map = test_map();
+  const DracMetric drac;
+  double prev = -1.0;
+  for (double ego_speed : {6.0, 8.0, 10.0, 12.0}) {
+    SceneSnapshot scene = make_scene(map, ego_speed);
+    scene.others.push_back(other(1, 74.5, 5.25, 4.0));
+    const double v = drac.value(scene);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace iprism::core

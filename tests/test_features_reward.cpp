@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "roadmap/straight_road.hpp"
+#include "smc/features.hpp"
+#include "smc/reward.hpp"
+
+namespace iprism::smc {
+namespace {
+
+roadmap::MapPtr test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+sim::Actor vehicle(double x, double y, double speed) {
+  sim::Actor a;
+  a.kind = sim::ActorKind::kVehicle;
+  a.state = state(x, y, speed);
+  return a;
+}
+
+TEST(Features, DimensionAndBounds) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  w.add_actor(vehicle(70, 5.25, 5));
+  w.add_actor(vehicle(30, 1.75, 12));
+  const auto f = extract_features(w);
+  ASSERT_EQ(static_cast<int>(f.size()), kFeatureCount);
+  for (double v : f) {
+    ASSERT_GE(v, -1.0);
+    ASSERT_LE(v, 1.0);
+  }
+}
+
+TEST(Features, EncodesLeadPresence) {
+  sim::World empty(test_map(), 0.1);
+  empty.add_ego(state(50, 5.25, 8));
+  const auto f_empty = extract_features(empty);
+
+  sim::World with_lead(test_map(), 0.1);
+  with_lead.add_ego(state(50, 5.25, 8));
+  with_lead.add_actor(vehicle(70, 5.25, 5));
+  const auto f_lead = extract_features(with_lead);
+
+  EXPECT_NE(f_empty, f_lead);
+  // Same-lane lead block comes right after the two ego features.
+  const std::size_t same_lane_lead = 2;
+  EXPECT_DOUBLE_EQ(f_empty[same_lane_lead], 0.0);  // absent
+  EXPECT_DOUBLE_EQ(f_lead[same_lane_lead], 1.0);   // present
+}
+
+TEST(Features, EdgeLaneEncodesMissingNeighbor) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 1.75, 8));  // rightmost lane: one side lane missing
+  const auto f = extract_features(w);
+  // With no actors at all, both side blocks (threat-ordered, after the
+  // same-lane blocks at indices 2..7) encode "absent": {0, 1, 0}.
+  for (std::size_t base : {8u, 11u, 14u, 17u}) {
+    EXPECT_DOUBLE_EQ(f[base], 0.0);
+    EXPECT_DOUBLE_EQ(f[base + 1], 1.0);
+    EXPECT_DOUBLE_EQ(f[base + 2], 0.0);
+  }
+}
+
+TEST(Features, SideThreatOrderingIsMirrorInvariant) {
+  // A threat approaching in the left lane and its mirror image in the
+  // right lane must produce identical feature vectors (the property that
+  // lets one trained policy cover both scenario parities).
+  sim::World left(test_map(), 0.1);
+  left.add_ego(state(50, 5.25, 8));
+  left.add_actor(vehicle(40, 8.75, 13));  // fast, closing, left lane
+  sim::World right(test_map(), 0.1);
+  right.add_ego(state(50, 5.25, 8));
+  right.add_actor(vehicle(40, 1.75, 13));  // mirror: right lane
+  EXPECT_EQ(extract_features(left), extract_features(right));
+}
+
+TEST(Features, RearActorVisible) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  w.add_actor(vehicle(30, 5.25, 14));  // closing from behind
+  const auto f = extract_features(w);
+  // Same-lane rear block follows the same-lane lead block.
+  const std::size_t rear = 2 + 3;
+  EXPECT_DOUBLE_EQ(f[rear], 1.0);       // present
+  EXPECT_GT(f[rear + 2], 0.0);          // closing
+}
+
+TEST(Features, GapAndClosingAreClamped) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  w.add_actor(vehicle(109, 5.25, 30));  // far and receding fast
+  const auto f = extract_features(w);
+  for (double v : f) {
+    ASSERT_GE(v, -1.0);
+    ASSERT_LE(v, 1.0);
+  }
+  // Same-lane lead: gap 54.5/60 < 1, receding -> closing clamped >= -1.
+  EXPECT_NEAR(f[3], 54.5 / 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f[4], -1.0);
+}
+
+TEST(Reward, UsesEquation8Terms) {
+  RewardParams p;
+  p.alpha0 = 1.0;
+  p.alpha1 = 0.5;
+  p.alpha2 = -0.1;
+  p.cruise_speed = 8.0;
+  // No risk, full progress, no mitigation: alpha0 + alpha1.
+  EXPECT_NEAR(smc_reward(p, 0.0, 0.8, 0.1, false), 1.0 + 0.5, 1e-12);
+  // Full risk erases the first term.
+  EXPECT_NEAR(smc_reward(p, 1.0, 0.8, 0.1, false), 0.5, 1e-12);
+  // Mitigation activation adds the (negative) penalty.
+  EXPECT_NEAR(smc_reward(p, 0.0, 0.8, 0.1, true), 1.5 - 0.1, 1e-12);
+}
+
+TEST(Reward, AblationDropsStiTerm) {
+  RewardParams p;
+  p.use_sti = false;
+  p.alpha1 = 0.5;
+  p.alpha2 = -0.1;
+  p.cruise_speed = 8.0;
+  // STI value must be ignored entirely.
+  EXPECT_DOUBLE_EQ(smc_reward(p, 0.0, 0.8, 0.1, false),
+                   smc_reward(p, 1.0, 0.8, 0.1, false));
+}
+
+TEST(Reward, ProgressIsClamped) {
+  RewardParams p;
+  p.alpha0 = 0.0;
+  p.alpha1 = 1.0;
+  p.alpha2 = 0.0;
+  p.cruise_speed = 8.0;
+  EXPECT_DOUBLE_EQ(smc_reward(p, 0.0, 100.0, 0.1, false), 1.25);   // cap
+  EXPECT_DOUBLE_EQ(smc_reward(p, 0.0, -100.0, 0.1, false), -0.5);  // floor
+}
+
+TEST(Reward, ValidatesInterval) {
+  EXPECT_THROW(smc_reward(RewardParams{}, 0.0, 0.0, 0.0, false), std::invalid_argument);
+}
+
+TEST(Reward, StiIsClampedToUnitRange) {
+  RewardParams p;
+  p.alpha1 = 0.0;
+  p.alpha2 = 0.0;
+  EXPECT_DOUBLE_EQ(smc_reward(p, 5.0, 0.0, 0.1, false), 0.0);
+  EXPECT_DOUBLE_EQ(smc_reward(p, -5.0, 0.0, 0.1, false), 1.0);
+}
+
+}  // namespace
+}  // namespace iprism::smc

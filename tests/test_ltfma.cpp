@@ -1,0 +1,52 @@
+#include "core/ltfma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iprism::core {
+namespace {
+
+TEST(Ltfma, CountsContiguousNonzeroSuffix) {
+  const std::vector<double> risk = {0.0, 0.1, 0.0, 0.3, 0.5, 0.9};
+  EXPECT_EQ(ltfma_steps(risk, 5), 3u);  // steps 3, 4, 5
+}
+
+TEST(Ltfma, ZeroAtAccidentMeansZeroLeadTime) {
+  const std::vector<double> risk = {0.5, 0.5, 0.0};
+  EXPECT_EQ(ltfma_steps(risk, 2), 0u);
+}
+
+TEST(Ltfma, AllNonzeroCountsEverything) {
+  const std::vector<double> risk = {0.1, 0.2, 0.3};
+  EXPECT_EQ(ltfma_steps(risk, 2), 3u);
+}
+
+TEST(Ltfma, AccidentMidSeriesIgnoresLaterValues) {
+  const std::vector<double> risk = {0.0, 0.4, 0.4, 0.0, 0.9};
+  EXPECT_EQ(ltfma_steps(risk, 2), 2u);
+}
+
+TEST(Ltfma, EpsilonThresholdFiltersNoise) {
+  const std::vector<double> risk = {1e-12, 0.2, 0.2};
+  EXPECT_EQ(ltfma_steps(risk, 2), 2u);  // the 1e-12 is "zero"
+  EXPECT_EQ(ltfma_steps(risk, 2, /*eps=*/0.0), 3u);
+}
+
+TEST(Ltfma, SecondsScalesByDt) {
+  const std::vector<double> risk = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(ltfma_seconds(risk, 3, 0.1), 0.4);
+  EXPECT_DOUBLE_EQ(ltfma_seconds(risk, 3, 0.5), 2.0);
+}
+
+TEST(Ltfma, ValidatesArguments) {
+  const std::vector<double> risk = {0.1};
+  EXPECT_THROW(ltfma_steps(risk, 1), std::invalid_argument);
+  EXPECT_THROW(ltfma_seconds(risk, 0, 0.0), std::invalid_argument);
+}
+
+TEST(Ltfma, SingleStepSeries) {
+  EXPECT_EQ(ltfma_steps({0.7}, 0), 1u);
+  EXPECT_EQ(ltfma_steps({0.0}, 0), 0u);
+}
+
+}  // namespace
+}  // namespace iprism::core

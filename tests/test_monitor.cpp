@@ -1,0 +1,123 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::core {
+namespace {
+
+roadmap::MapPtr test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+sim::World empty_world() {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  return w;
+}
+
+sim::World threat_world(double gap) {
+  // A stopped wall across all three lanes: blocks lateral escapes too, so
+  // the combined STI is genuinely high.
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 10));
+  for (double y : {1.75, 5.25, 8.75}) {
+    sim::Actor blocker;
+    blocker.kind = sim::ActorKind::kVehicle;
+    blocker.state = state(50 + gap + 4.5, y, 0.0);
+    w.add_actor(std::move(blocker));
+  }
+  return w;
+}
+
+TEST(RiskMonitor, ValidatesParameters) {
+  RiskMonitorParams p;
+  p.caution_threshold = 0.5;
+  p.critical_threshold = 0.4;
+  EXPECT_THROW(RiskMonitor{p}, std::invalid_argument);
+  p = {};
+  p.hysteresis_updates = 0;
+  EXPECT_THROW(RiskMonitor{p}, std::invalid_argument);
+}
+
+TEST(RiskMonitor, SafeOnEmptyRoad) {
+  RiskMonitor monitor;
+  auto w = empty_world();
+  const auto a = monitor.update(w);
+  EXPECT_DOUBLE_EQ(a.sti_combined, 0.0);
+  EXPECT_EQ(a.level, RiskLevel::kSafe);
+  EXPECT_FALSE(a.riskiest_actor.has_value());
+}
+
+TEST(RiskMonitor, EscalatesImmediately) {
+  RiskMonitor monitor;
+  auto w = threat_world(6.0);  // imminent: large STI
+  const auto a = monitor.update(w);
+  EXPECT_GE(a.level, RiskLevel::kCaution);
+  EXPECT_EQ(monitor.level(), a.level);
+}
+
+TEST(RiskMonitor, AttributionAppearsOnceElevated) {
+  RiskMonitor monitor;
+  auto w = threat_world(6.0);
+  monitor.update(w);  // first update escalates (no attribution yet)
+  const auto second = monitor.update(w);
+  ASSERT_GE(second.level, RiskLevel::kCaution);
+  ASSERT_TRUE(second.riskiest_actor.has_value());
+  EXPECT_GT(second.riskiest_sti, 0.1);
+}
+
+TEST(RiskMonitor, DeescalationNeedsQuietStreak) {
+  RiskMonitorParams p;
+  p.hysteresis_updates = 3;
+  RiskMonitor monitor(p);
+  auto threat = threat_world(6.0);
+  monitor.update(threat);
+  monitor.update(threat);
+  const RiskLevel elevated = monitor.level();
+  ASSERT_GE(elevated, RiskLevel::kCaution);
+
+  auto calm = empty_world();
+  // Two quiet updates: still holding the elevated level.
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), elevated);
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), elevated);
+  // Third quiet update: drop exactly one level.
+  monitor.update(calm);
+  EXPECT_EQ(static_cast<int>(monitor.level()), static_cast<int>(elevated) - 1);
+}
+
+TEST(RiskMonitor, ResetClearsState) {
+  RiskMonitor monitor;
+  auto threat = threat_world(6.0);
+  monitor.update(threat);
+  ASSERT_GE(monitor.level(), RiskLevel::kCaution);
+  monitor.reset();
+  EXPECT_EQ(monitor.level(), RiskLevel::kSafe);
+  EXPECT_EQ(monitor.updates(), 0);
+}
+
+TEST(RiskMonitor, LevelNames) {
+  EXPECT_EQ(risk_level_name(RiskLevel::kSafe), "safe");
+  EXPECT_EQ(risk_level_name(RiskLevel::kCaution), "caution");
+  EXPECT_EQ(risk_level_name(RiskLevel::kCritical), "critical");
+}
+
+TEST(RiskMonitor, RequiresEgo) {
+  RiskMonitor monitor;
+  sim::World w(test_map(), 0.1);
+  EXPECT_THROW(monitor.update(w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprism::core

@@ -1,0 +1,132 @@
+#include "geom/obb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace iprism::geom {
+namespace {
+
+TEST(OrientedBox, RejectsNegativeExtents) {
+  EXPECT_THROW(OrientedBox({0, 0}, -1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(OrientedBox, CornersAxisAligned) {
+  const OrientedBox b({0.0, 0.0}, 2.0, 1.0, 0.0);
+  const auto c = b.corners();
+  EXPECT_NEAR(c[0].x, 2.0, 1e-12);
+  EXPECT_NEAR(c[0].y, 1.0, 1e-12);
+  EXPECT_NEAR(c[2].x, -2.0, 1e-12);
+  EXPECT_NEAR(c[2].y, -1.0, 1e-12);
+}
+
+TEST(OrientedBox, ContainsPoints) {
+  const OrientedBox b({1.0, 1.0}, 2.0, 1.0, 0.0);
+  EXPECT_TRUE(b.contains({1.0, 1.0}));
+  EXPECT_TRUE(b.contains({2.9, 1.9}));
+  EXPECT_FALSE(b.contains({3.1, 1.0}));
+  EXPECT_FALSE(b.contains({1.0, 2.1}));
+}
+
+TEST(OrientedBox, ContainsRespectsRotation) {
+  const OrientedBox b({0.0, 0.0}, 2.0, 0.5, M_PI / 2.0);
+  EXPECT_TRUE(b.contains({0.0, 1.9}));   // along the rotated long axis
+  EXPECT_FALSE(b.contains({1.9, 0.0}));  // outside the rotated short axis
+}
+
+TEST(OrientedBox, DisjointBoxesDoNotIntersect) {
+  const OrientedBox a({0.0, 0.0}, 1.0, 1.0, 0.0);
+  const OrientedBox b({5.0, 0.0}, 1.0, 1.0, 0.0);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(OrientedBox, OverlappingBoxesIntersect) {
+  const OrientedBox a({0.0, 0.0}, 1.0, 1.0, 0.0);
+  const OrientedBox b({1.5, 0.0}, 1.0, 1.0, 0.0);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(OrientedBox, RotatedCrossIntersects) {
+  // Two long thin boxes forming a plus sign.
+  const OrientedBox a({0.0, 0.0}, 3.0, 0.2, 0.0);
+  const OrientedBox b({0.0, 0.0}, 3.0, 0.2, M_PI / 2.0);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(OrientedBox, DiagonalSeparationNeedsSat) {
+  // AABBs overlap but the rotated boxes do not — SAT must separate them.
+  const OrientedBox a({0.0, 0.0}, 2.0, 0.3, M_PI / 4.0);
+  const OrientedBox b({1.8, -1.8}, 2.0, 0.3, M_PI / 4.0);
+  EXPECT_TRUE(a.aabb().intersects(b.aabb()));
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(OrientedBox, IntersectionIsSymmetricProperty) {
+  common::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const OrientedBox a({rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(0.2, 3.0),
+                        rng.uniform(0.2, 2.0), rng.uniform(-M_PI, M_PI));
+    const OrientedBox b({rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(0.2, 3.0),
+                        rng.uniform(0.2, 2.0), rng.uniform(-M_PI, M_PI));
+    ASSERT_EQ(a.intersects(b), b.intersects(a));
+  }
+}
+
+TEST(OrientedBox, ContainedCenterImpliesIntersection) {
+  common::Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const OrientedBox a({rng.uniform(-5, 5), rng.uniform(-5, 5)}, rng.uniform(0.5, 3.0),
+                        rng.uniform(0.5, 2.0), rng.uniform(-M_PI, M_PI));
+    const OrientedBox b(a.center() + Vec2{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3)},
+                        rng.uniform(0.5, 3.0), rng.uniform(0.5, 2.0),
+                        rng.uniform(-M_PI, M_PI));
+    // b's centre lies inside (or within 0.43 of) a's centre, well inside a.
+    ASSERT_TRUE(a.intersects(b));
+  }
+}
+
+TEST(OrientedBox, DistanceToPoint) {
+  const OrientedBox b({0.0, 0.0}, 2.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.distance_to({0.0, 0.0}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(b.distance_to({5.0, 0.0}), 3.0);
+  EXPECT_NEAR(b.distance_to({3.0, 2.0}), std::hypot(1.0, 1.0), 1e-12);
+}
+
+TEST(OrientedBox, AabbCoversRotatedBox) {
+  const OrientedBox b({1.0, 2.0}, 2.0, 1.0, M_PI / 6.0);
+  const Aabb box = b.aabb();
+  for (const auto& c : b.corners()) EXPECT_TRUE(box.contains(c));
+}
+
+TEST(OrientedBox, Circumradius) {
+  const OrientedBox b({0.0, 0.0}, 3.0, 4.0, 0.7);
+  EXPECT_DOUBLE_EQ(b.circumradius(), 5.0);
+}
+
+TEST(Aabb, EmptyBehaviour) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.contains({0.0, 0.0}));
+  box.expand({1.0, 1.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.contains({1.0, 1.0}));
+}
+
+TEST(Aabb, ExpandAndIntersect) {
+  Aabb a;
+  a.expand({0.0, 0.0});
+  a.expand({2.0, 2.0});
+  Aabb b;
+  b.expand({1.0, 1.0});
+  b.expand({3.0, 3.0});
+  EXPECT_TRUE(a.intersects(b));
+  Aabb c;
+  c.expand({5.0, 5.0});
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.inflated(3.1).intersects(c));
+}
+
+}  // namespace
+}  // namespace iprism::geom

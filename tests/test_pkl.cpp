@@ -1,0 +1,158 @@
+#include "core/pkl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dynamics/cvtr.hpp"
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::core {
+namespace {
+
+std::shared_ptr<roadmap::StraightRoad> test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+SceneSnapshot make_scene(const std::shared_ptr<roadmap::StraightRoad>& map,
+                         double speed = 8.0) {
+  SceneSnapshot scene;
+  scene.map = map.get();
+  scene.ego.id = 0;
+  scene.ego.state.x = 50.0;
+  scene.ego.state.y = 5.25;
+  scene.ego.state.speed = speed;
+  scene.ego.dims = {4.5, 2.0};
+  return scene;
+}
+
+ActorForecast actor(int id, double x, double y, double speed) {
+  dynamics::CvtrPredictor pred;
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return {id, pred.predict(s, 0.0, 3.0, 0.25), {4.5, 2.0}};
+}
+
+TEST(Pkl, CandidateLatticeCoversLanesAndAccels) {
+  const auto map = test_map();
+  const PklMetric pkl;
+  const auto cands = pkl.roll_candidates(*map, make_scene(map));
+  // Middle lane: 3 reachable lanes x 6 accel options.
+  EXPECT_EQ(cands.size(), 18u);
+  // Edge lane: 2 reachable lanes.
+  SceneSnapshot edge = make_scene(map);
+  edge.ego.state.y = 1.75;
+  EXPECT_EQ(pkl.roll_candidates(*map, edge).size(), 12u);
+}
+
+TEST(Pkl, DistributionIsNormalized) {
+  const auto map = test_map();
+  const PklMetric pkl;
+  const auto scene = make_scene(map);
+  const auto cands = pkl.roll_candidates(*map, scene);
+  std::vector<PklFeatures> feats;
+  for (const auto& c : cands)
+    feats.push_back(pkl.features(*map, scene, c, {}, PklMetric::kExcludeNone));
+  const auto p = pkl.distribution(feats);
+  const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (double v : p) EXPECT_GE(v, 0.0);
+}
+
+TEST(Pkl, BlockingActorInfluencesPlan) {
+  const auto map = test_map();
+  const PklMetric pkl;
+  const auto scene = make_scene(map);
+  const std::vector<ActorForecast> forecasts = {actor(1, 65.0, 5.25, 0.0)};
+  const auto per_actor = pkl.compute(scene, forecasts);
+  ASSERT_EQ(per_actor.size(), 1u);
+  EXPECT_GT(per_actor[0].second, 0.01);
+  EXPECT_GT(pkl.combined(scene, forecasts), 0.01);
+}
+
+TEST(Pkl, IrrelevantActorHasNoInfluence) {
+  const auto map = test_map();
+  const PklMetric pkl;
+  const auto scene = make_scene(map);
+  const std::vector<ActorForecast> forecasts = {actor(1, 300.0, 5.25, 5.0)};
+  const auto per_actor = pkl.compute(scene, forecasts);
+  EXPECT_NEAR(per_actor[0].second, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(pkl.risk(scene, forecasts), 0.0);  // floored to zero
+}
+
+TEST(Pkl, RiskIsMaxActorInfluence) {
+  const auto map = test_map();
+  const PklMetric pkl;
+  const auto scene = make_scene(map);
+  const std::vector<ActorForecast> forecasts = {actor(1, 65.0, 5.25, 0.0),
+                                                actor(2, 300.0, 5.25, 5.0)};
+  const auto per_actor = pkl.compute(scene, forecasts);
+  EXPECT_NEAR(pkl.risk(scene, forecasts),
+              std::max(per_actor[0].second, per_actor[1].second), 1e-12);
+}
+
+TEST(Pkl, FitRecoversExpertPreference) {
+  // Synthetic supervision: the expert always picks the candidate with the
+  // lowest feature-2 value. Fitting must raise weight 2 relative to a flat
+  // start so that the expert candidate becomes the distribution's mode.
+  std::vector<PklTrainingExample> data;
+  common::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    PklTrainingExample ex;
+    std::size_t best = 0;
+    double best_v = 1e9;
+    for (int c = 0; c < 5; ++c) {
+      PklFeatures f{};
+      for (auto& v : f) v = rng.uniform(0.0, 1.0);
+      if (f[2] < best_v) {
+        best_v = f[2];
+        best = static_cast<std::size_t>(c);
+      }
+      ex.candidates.push_back(f);
+    }
+    ex.expert_index = best;
+    data.push_back(std::move(ex));
+  }
+  common::Rng fit_rng(4);
+  const PklWeights w = fit_pkl_weights(data, /*epochs=*/40, /*lr=*/0.05, fit_rng);
+
+  // Evaluate: the fitted weights should rank the expert candidate first
+  // most of the time.
+  int correct = 0;
+  for (const auto& ex : data) {
+    std::size_t argmin = 0;
+    double best_cost = 1e18;
+    for (std::size_t c = 0; c < ex.candidates.size(); ++c) {
+      double cost = 0.0;
+      for (std::size_t k = 0; k < kPklFeatureCount; ++k)
+        cost += w[k] * ex.candidates[c][k];
+      if (cost < best_cost) {
+        best_cost = cost;
+        argmin = c;
+      }
+    }
+    if (argmin == ex.expert_index) ++correct;
+  }
+  EXPECT_GT(correct, 120);  // >60% top-1 on the training demonstrations
+}
+
+TEST(Pkl, FitRejectsEmptyData) {
+  common::Rng rng(1);
+  EXPECT_THROW(fit_pkl_weights({}, 1, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Pkl, DifferentWeightsChangeTheMetric) {
+  // The PKL-All vs PKL-Holdout phenomenon: the metric is a function of its
+  // training, so different weights yield different risk values.
+  const auto map = test_map();
+  const auto scene = make_scene(map);
+  const std::vector<ActorForecast> forecasts = {actor(1, 68.0, 5.25, 2.0)};
+  const PklMetric a(PklParams{}, PklWeights{8.0, 2.0, 1.5, 0.6, 0.3, 6.0});
+  const PklMetric b(PklParams{}, PklWeights{1.0, 0.1, 4.0, 0.6, 0.3, 6.0});
+  EXPECT_NE(a.combined(scene, forecasts), b.combined(scene, forecasts));
+}
+
+}  // namespace
+}  // namespace iprism::core

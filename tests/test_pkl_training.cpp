@@ -1,0 +1,79 @@
+#include "eval/pkl_training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/lbc.hpp"
+#include "scenario/factory.hpp"
+
+namespace iprism::eval {
+namespace {
+
+EpisodeResult sample_episode() {
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(5);
+  const auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 0, rng);
+  agents::LbcAgent lbc;
+  return run_episode(factory.build(spec), lbc);
+}
+
+TEST(PklTraining, CollectsExamplesWithValidLabels) {
+  const EpisodeResult episode = sample_episode();
+  const core::PklMetric metric;
+  const auto examples = collect_pkl_examples(episode, metric, 5);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    ASSERT_FALSE(ex.candidates.empty());
+    ASSERT_LT(ex.expert_index, ex.candidates.size());
+    for (const auto& f : ex.candidates) {
+      for (double v : f) {
+        ASSERT_TRUE(std::isfinite(v));
+      }
+    }
+  }
+}
+
+TEST(PklTraining, StrideControlsExampleCount) {
+  const EpisodeResult episode = sample_episode();
+  const core::PklMetric metric;
+  const auto dense = collect_pkl_examples(episode, metric, 2);
+  const auto sparse = collect_pkl_examples(episode, metric, 10);
+  EXPECT_GT(dense.size(), sparse.size());
+  EXPECT_THROW(collect_pkl_examples(episode, metric, 0), std::invalid_argument);
+}
+
+TEST(PklTraining, SkipsStepsWithoutFullHorizon) {
+  // All examples must come from steps whose 2.5 s planner horizon fits in
+  // the recording.
+  const EpisodeResult episode = sample_episode();
+  const core::PklMetric metric;
+  const auto examples = collect_pkl_examples(episode, metric, 1);
+  const int horizon_steps = static_cast<int>(2.5 / episode.dt);
+  EXPECT_EQ(static_cast<int>(examples.size()),
+            std::max(episode.samples - horizon_steps, 0));
+}
+
+TEST(PklTraining, ExpertLabelTracksRealizedBehavior) {
+  // A cruising ego (no hazard in range) should be matched by a
+  // keep-speed-keep-lane candidate, not a hard-brake or lane-change one.
+  const scenario::ScenarioFactory factory;
+  auto map_world = [&] {
+    common::Rng rng(9);
+    auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 1, rng);
+    spec.hyperparams["npc_vehicle_location"] = 200.0;  // hazard far away
+    return factory.build(spec);
+  };
+  agents::LbcAgent lbc;
+  const EpisodeResult episode = run_episode(map_world(), lbc);
+  const core::PklMetric metric;
+  const auto examples = collect_pkl_examples(episode, metric, 10);
+  ASSERT_FALSE(examples.empty());
+  // Rebuild candidate descriptors for step 0 to interpret the label.
+  const auto scene = episode.snapshot_at(0);
+  const auto candidates = metric.roll_candidates(*scene.map, scene);
+  const auto& label = candidates[examples.front().expert_index];
+  EXPECT_EQ(label.target_lane, 1);             // keeps its lane
+  EXPECT_NEAR(label.accel, 0.0, 1.1);          // near-zero acceleration
+}
+
+}  // namespace
+}  // namespace iprism::eval

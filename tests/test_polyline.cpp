@@ -1,0 +1,55 @@
+#include "geom/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprism::geom {
+namespace {
+
+Polyline l_shape() { return Polyline({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}); }
+
+TEST(Polyline, RejectsDegenerateInput) {
+  EXPECT_THROW(Polyline({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(Polyline({{0.0, 0.0}, {0.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(Polyline, Length) { EXPECT_DOUBLE_EQ(l_shape().length(), 20.0); }
+
+TEST(Polyline, PointAtInterpolatesAndClamps) {
+  const Polyline p = l_shape();
+  EXPECT_EQ(p.point_at(5.0), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(p.point_at(15.0), (Vec2{10.0, 5.0}));
+  EXPECT_EQ(p.point_at(-3.0), (Vec2{0.0, 0.0}));   // clamped low
+  EXPECT_EQ(p.point_at(99.0), (Vec2{10.0, 10.0}));  // clamped high
+}
+
+TEST(Polyline, HeadingFollowsSegments) {
+  const Polyline p = l_shape();
+  EXPECT_NEAR(p.heading_at(5.0), 0.0, 1e-12);
+  EXPECT_NEAR(p.heading_at(15.0), M_PI / 2.0, 1e-12);
+}
+
+TEST(Polyline, ProjectOntoNearestSegment) {
+  const Polyline p = l_shape();
+  EXPECT_NEAR(p.project({5.0, 1.0}), 5.0, 1e-12);
+  EXPECT_NEAR(p.project({11.0, 5.0}), 15.0, 1e-12);
+  EXPECT_NEAR(p.project({-5.0, 0.0}), 0.0, 1e-12);  // clamps to start
+}
+
+TEST(Polyline, LateralOffsetSign) {
+  const Polyline p({{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_NEAR(p.lateral_offset({5.0, 2.0}), 2.0, 1e-12);   // left of travel
+  EXPECT_NEAR(p.lateral_offset({5.0, -2.0}), -2.0, 1e-12);  // right of travel
+}
+
+TEST(Polyline, RoundTripProjection) {
+  const Polyline p = l_shape();
+  for (double s : {0.0, 2.5, 9.9, 10.1, 19.0}) {
+    const Vec2 q = p.point_at(s);
+    EXPECT_NEAR(p.project(q), s, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace iprism::geom

@@ -1,0 +1,86 @@
+#include "roadmap/polyline_road.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprism::roadmap {
+namespace {
+
+PolylineRoad straight_like() {
+  // A polyline road equivalent to a straight 2-lane road along +x.
+  return PolylineRoad(geom::Polyline({{0.0, 0.0}, {100.0, 0.0}, {200.0, 0.0}}), 2, 3.5);
+}
+
+TEST(PolylineRoad, ValidatesParameters) {
+  geom::Polyline line({{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_THROW(PolylineRoad(line, 0, 3.5), std::invalid_argument);
+  EXPECT_THROW(PolylineRoad(line, 2, 0.0), std::invalid_argument);
+}
+
+TEST(PolylineRoad, StraightEquivalence) {
+  const PolylineRoad r = straight_like();
+  EXPECT_EQ(r.lane_count(), 2);
+  EXPECT_DOUBLE_EQ(r.road_length(), 200.0);
+  EXPECT_TRUE(r.contains({50.0, 3.0}));
+  EXPECT_FALSE(r.contains({50.0, -0.5}));
+  EXPECT_FALSE(r.contains({50.0, 7.5}));
+  EXPECT_FALSE(r.contains({-5.0, 3.0}));   // beyond the start
+  EXPECT_FALSE(r.contains({205.0, 3.0}));  // beyond the end
+  EXPECT_EQ(r.lane_at({50.0, 1.0}), 0);
+  EXPECT_EQ(r.lane_at({50.0, 5.0}), 1);
+  EXPECT_DOUBLE_EQ(r.arclength({42.0, 1.0}), 42.0);
+  EXPECT_DOUBLE_EQ(r.lateral({42.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.heading_at(42.0), 0.0);
+  EXPECT_NEAR(r.curvature_at(42.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(PolylineRoad, FrenetRoundTrip) {
+  const PolylineRoad r = PolylineRoad::s_curve(2, 3.5);
+  for (double s : {5.0, 30.0, 70.0, 110.0}) {
+    for (double d : {1.0, 5.5}) {
+      const geom::Vec2 p = r.point_at(s, d);
+      EXPECT_NEAR(r.arclength(p), s, 0.25) << "s=" << s << " d=" << d;
+      EXPECT_NEAR(r.lateral(p), d, 0.15);
+      EXPECT_TRUE(r.contains(p));
+    }
+  }
+}
+
+TEST(PolylineRoad, SCurveCurvatureChangesSign) {
+  const PolylineRoad r = PolylineRoad::s_curve(2, 3.5, 60.0, 1.2, 48);
+  const double quarter = r.road_length() * 0.25;
+  const double three_quarter = r.road_length() * 0.75;
+  const double k1 = r.curvature_at(quarter, 1.75);
+  const double k2 = r.curvature_at(three_quarter, 1.75);
+  EXPECT_GT(k1, 0.005);   // first arc turns left
+  EXPECT_LT(k2, -0.005);  // second arc turns right
+  // Magnitudes near 1/60 (offset-corrected).
+  EXPECT_NEAR(std::abs(k1), 1.0 / 60.0, 0.006);
+}
+
+TEST(PolylineRoad, LaneCenterOffsets) {
+  const PolylineRoad r = straight_like();
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(0), 1.75);
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(1), 5.25);
+  EXPECT_THROW(r.lane_center_offset(2), std::invalid_argument);
+}
+
+TEST(PolylineRoad, SCurveFactoryValidates) {
+  EXPECT_THROW(PolylineRoad::s_curve(2, 3.5, -1.0), std::invalid_argument);
+  EXPECT_THROW(PolylineRoad::s_curve(2, 3.5, 60.0, 1.2, 2), std::invalid_argument);
+}
+
+TEST(PolylineRoad, ContainsBoxOnCurve) {
+  const PolylineRoad r = PolylineRoad::s_curve(3, 3.5);
+  const double s = r.road_length() / 2.0;
+  const geom::Vec2 center = r.point_at(s, 5.25);
+  const geom::OrientedBox inside(center, 2.25, 1.0, r.heading_at(s));
+  EXPECT_TRUE(r.contains_box(inside, 0.3));
+  const geom::Vec2 edge = r.point_at(s, 10.2);
+  const geom::OrientedBox poking(edge, 2.25, 1.0, r.heading_at(s));
+  EXPECT_FALSE(r.contains_box(poking, 0.0));
+}
+
+}  // namespace
+}  // namespace iprism::roadmap

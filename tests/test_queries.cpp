@@ -1,0 +1,131 @@
+#include "sim/queries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadmap/ring_road.hpp"
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::sim {
+namespace {
+
+roadmap::MapPtr test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+dynamics::VehicleState state(double x, double y, double speed, double heading = 0.0) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  s.heading = heading;
+  return s;
+}
+
+Actor vehicle(double x, double y, double speed) {
+  Actor a;
+  a.kind = ActorKind::kVehicle;
+  a.state = state(x, y, speed);
+  return a;
+}
+
+TEST(Queries, LaneOf) {
+  World w(test_map(), 0.1);
+  const int id = w.add_ego(state(10, 5.25, 8));
+  EXPECT_EQ(lane_of(w, w.actor(id)), 1);
+}
+
+TEST(Queries, LongitudinalOffsetSign) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  const int ahead = w.add_actor(vehicle(80, 1.75, 8));
+  const int behind = w.add_actor(vehicle(30, 8.75, 8));
+  EXPECT_DOUBLE_EQ(longitudinal_offset(w, w.ego(), w.actor(ahead)), 30.0);
+  EXPECT_DOUBLE_EQ(longitudinal_offset(w, w.ego(), w.actor(behind)), -20.0);
+}
+
+TEST(Queries, RingOffsetWrapsAround) {
+  auto map = std::make_shared<roadmap::RingRoad>(1, 3.5, 30.0);
+  World w(map, 0.1);
+  // Ego near the arclength seam (s ~ L - 5), other just past it (s ~ 3).
+  const double L = map->road_length();
+  dynamics::VehicleState ego;
+  {
+    const auto p = map->point_at(L - 5.0, 1.75);
+    ego.x = p.x;
+    ego.y = p.y;
+    ego.heading = map->heading_at(L - 5.0);
+    ego.speed = 5.0;
+  }
+  w.add_ego(ego);
+  Actor other;
+  other.kind = ActorKind::kVehicle;
+  {
+    const auto p = map->point_at(3.0, 1.75);
+    other.state.x = p.x;
+    other.state.y = p.y;
+    other.state.heading = map->heading_at(3.0);
+    other.state.speed = 5.0;
+  }
+  const int id = w.add_actor(std::move(other));
+  EXPECT_NEAR(longitudinal_offset(w, w.ego(), w.actor(id)), 8.0, 1e-9);
+}
+
+TEST(Queries, LeadAndRearInLane) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  const int near_lead = w.add_actor(vehicle(70, 5.25, 6));
+  w.add_actor(vehicle(100, 5.25, 6));  // farther lead
+  const int rear = w.add_actor(vehicle(30, 5.25, 10));
+  w.add_actor(vehicle(60, 1.75, 6));  // other lane — must be ignored
+
+  const auto lead = lead_in_lane(w, w.ego(), 1);
+  ASSERT_TRUE(lead.has_value());
+  EXPECT_EQ(lead->actor_id, near_lead);
+  EXPECT_NEAR(lead->gap, 20.0 - 4.5, 1e-9);
+  EXPECT_NEAR(lead->closing_speed, 2.0, 1e-9);
+
+  const auto behind = rear_in_lane(w, w.ego(), 1);
+  ASSERT_TRUE(behind.has_value());
+  EXPECT_EQ(behind->actor_id, rear);
+  EXPECT_NEAR(behind->closing_speed, 2.0, 1e-9);
+}
+
+TEST(Queries, LeadRespectsMaxRange) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  w.add_actor(vehicle(200, 5.25, 6));
+  EXPECT_FALSE(lead_in_lane(w, w.ego(), 1, 100.0).has_value());
+  EXPECT_TRUE(lead_in_lane(w, w.ego(), 1, 160.0).has_value());
+}
+
+TEST(Queries, ClosestInPathRequiresLateralOverlap) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  // Same lane ahead: in path.
+  const int lead = w.add_actor(vehicle(80, 5.25, 5));
+  // Adjacent lane centre (no overlap with the ego corridor): not in path.
+  w.add_actor(vehicle(65, 1.75, 5));
+  const auto cipa = closest_in_path(w, w.ego());
+  ASSERT_TRUE(cipa.has_value());
+  EXPECT_EQ(cipa->actor_id, lead);
+}
+
+TEST(Queries, ClosestInPathSeesEncroachingActor) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  // An actor straddling the lane boundary overlaps the ego corridor.
+  const int encroacher = w.add_actor(vehicle(70, 3.6, 5));
+  const auto cipa = closest_in_path(w, w.ego());
+  ASSERT_TRUE(cipa.has_value());
+  EXPECT_EQ(cipa->actor_id, encroacher);
+}
+
+TEST(Queries, ClosestInPathIgnoresBehind) {
+  World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  w.add_actor(vehicle(20, 5.25, 12));
+  EXPECT_FALSE(closest_in_path(w, w.ego()).has_value());
+}
+
+}  // namespace
+}  // namespace iprism::sim

@@ -1,0 +1,77 @@
+#include "eval/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::eval {
+namespace {
+
+roadmap::MapPtr test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+sim::World two_actor_world() {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 8));
+  sim::Actor a;
+  a.kind = sim::ActorKind::kVehicle;
+  a.state = state(70, 1.75, 5);
+  w.add_actor(std::move(a));
+  return w;
+}
+
+TEST(Render, ContainsEgoActorsAndRoadFurniture) {
+  const auto w = two_actor_world();
+  const std::string out = render_world(w);
+  EXPECT_NE(out.find('E'), std::string::npos);
+  EXPECT_NE(out.find('A'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);  // road edges
+  EXPECT_NE(out.find('='), std::string::npos);  // lane lines
+  EXPECT_EQ(out.find('.'), std::string::npos);  // no tube requested
+}
+
+TEST(Render, TubeOccupancyAppearsWhenRequested) {
+  const auto w = two_actor_world();
+  const std::string out = render_world(w, /*with_tube=*/true);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Render, EgoAppearsLeftOfAheadActor) {
+  const auto w = two_actor_world();
+  const std::string out = render_world(w);
+  EXPECT_LT(out.find('E') % 0x7fffffff, out.size());
+  // The ego is behind (smaller s) the other actor: its column is smaller.
+  std::size_t line_start_e = out.rfind('\n', out.find('E'));
+  std::size_t col_e = out.find('E') - line_start_e;
+  std::size_t line_start_a = out.rfind('\n', out.find('A'));
+  std::size_t col_a = out.find('A') - line_start_a;
+  EXPECT_LT(col_e, col_a);
+}
+
+TEST(Render, RowCountTracksRoadWidth) {
+  const auto w = two_actor_world();
+  RenderOptions opt;
+  opt.y_scale = 1.0;
+  const std::string out = render_scene(core::snapshot_of(w), nullptr, opt);
+  const auto rows = static_cast<std::size_t>(std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(rows, static_cast<std::size_t>(3 * 3.5 / 1.0) + 3);  // floor(width/scale) + edge rows
+}
+
+TEST(Render, ValidatesOptions) {
+  const auto w = two_actor_world();
+  RenderOptions opt;
+  opt.x_scale = 0.0;
+  EXPECT_THROW(render_scene(core::snapshot_of(w), nullptr, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprism::eval

@@ -1,0 +1,72 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iprism::rl {
+namespace {
+
+Transition make(double marker) {
+  Transition t;
+  t.state = {marker};
+  t.next_state = {marker + 0.5};
+  t.reward = marker;
+  return t;
+}
+
+TEST(ReplayBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buf(3);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.push(make(1));
+  buf.push(make(2));
+  EXPECT_EQ(buf.size(), 2u);
+  buf.push(make(3));
+  buf.push(make(4));
+  EXPECT_EQ(buf.size(), 3u);  // capped
+}
+
+TEST(ReplayBuffer, OverwritesOldestFirst) {
+  ReplayBuffer buf(2);
+  buf.push(make(1));
+  buf.push(make(2));
+  buf.push(make(3));  // evicts marker 1
+  common::Rng rng(5);
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const Transition* t : buf.sample(2, rng)) seen.insert(t->reward);
+  }
+  EXPECT_EQ(seen.count(1.0), 0u);
+  EXPECT_EQ(seen.count(2.0), 1u);
+  EXPECT_EQ(seen.count(3.0), 1u);
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer buf(4);
+  common::Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, SampleReturnsRequestedCount) {
+  ReplayBuffer buf(4);
+  buf.push(make(1));
+  common::Rng rng(1);
+  EXPECT_EQ(buf.sample(7, rng).size(), 7u);  // with replacement
+}
+
+TEST(ReplayBuffer, SamplingIsDeterministicGivenRng) {
+  ReplayBuffer buf(8);
+  for (int i = 0; i < 8; ++i) buf.push(make(i));
+  common::Rng r1(3);
+  common::Rng r2(3);
+  const auto a = buf.sample(5, r1);
+  const auto b = buf.sample(5, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i]->reward, b[i]->reward);
+}
+
+}  // namespace
+}  // namespace iprism::rl

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "roadmap/ring_road.hpp"
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::roadmap {
+namespace {
+
+TEST(StraightRoad, RejectsBadParameters) {
+  EXPECT_THROW(StraightRoad(0, 3.5, 100.0), std::invalid_argument);
+  EXPECT_THROW(StraightRoad(2, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(StraightRoad(2, 3.5, 0.0), std::invalid_argument);
+}
+
+TEST(StraightRoad, ContainsAndLanes) {
+  const StraightRoad r(3, 3.5, 100.0);
+  EXPECT_TRUE(r.contains({50.0, 5.0}));
+  EXPECT_FALSE(r.contains({50.0, -0.1}));
+  EXPECT_FALSE(r.contains({50.0, 10.6}));
+  EXPECT_FALSE(r.contains({-1.0, 5.0}));
+  EXPECT_FALSE(r.contains({101.0, 5.0}));
+  EXPECT_EQ(r.lane_at({50.0, 1.0}), 0);
+  EXPECT_EQ(r.lane_at({50.0, 5.0}), 1);
+  EXPECT_EQ(r.lane_at({50.0, 9.0}), 2);
+  EXPECT_EQ(r.lane_at({50.0, 10.5}), 2);  // top edge belongs to the top lane
+  EXPECT_EQ(r.lane_at({50.0, -5.0}), -1);
+}
+
+TEST(StraightRoad, FrenetIsIdentity) {
+  const StraightRoad r(2, 3.5, 100.0);
+  EXPECT_DOUBLE_EQ(r.arclength({12.0, 3.0}), 12.0);
+  EXPECT_DOUBLE_EQ(r.lateral({12.0, 3.0}), 3.0);
+  EXPECT_EQ(r.point_at(12.0, 3.0), (geom::Vec2{12.0, 3.0}));
+  EXPECT_DOUBLE_EQ(r.heading_at(12.0), 0.0);
+}
+
+TEST(StraightRoad, LaneCenters) {
+  const StraightRoad r(3, 3.5, 100.0);
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(0), 1.75);
+  EXPECT_DOUBLE_EQ(r.lane_center_offset(2), 8.75);
+  EXPECT_THROW(r.lane_center_offset(3), std::invalid_argument);
+}
+
+TEST(StraightRoad, ContainsBoxExactBand) {
+  const StraightRoad r(2, 3.5, 100.0);
+  // A box fully inside.
+  EXPECT_TRUE(r.contains_box(geom::OrientedBox({50.0, 3.5}, 2.25, 1.0, 0.0), 0.0));
+  // A box poking over the top edge.
+  EXPECT_FALSE(r.contains_box(geom::OrientedBox({50.0, 6.5}, 2.25, 1.0, 0.0), 0.0));
+  // The same box passes once the margin shrink covers the overhang.
+  EXPECT_TRUE(r.contains_box(geom::OrientedBox({50.0, 6.4}, 2.25, 1.0, 0.0), 0.5));
+}
+
+TEST(RingRoad, RejectsBadParameters) {
+  EXPECT_THROW(RingRoad(0, 3.5, 30.0), std::invalid_argument);
+  EXPECT_THROW(RingRoad(2, 3.5, 0.0), std::invalid_argument);
+}
+
+TEST(RingRoad, ContainsAnnulus) {
+  const RingRoad r(2, 3.5, 30.0);
+  EXPECT_TRUE(r.contains({31.0, 0.0}));
+  EXPECT_TRUE(r.contains({0.0, 36.9}));
+  EXPECT_FALSE(r.contains({29.0, 0.0}));   // inside the hole
+  EXPECT_FALSE(r.contains({37.5, 0.0}));   // outside
+}
+
+TEST(RingRoad, LaneZeroIsOutermost) {
+  // Positive d = left of CCW travel = inward, so the rightmost lane
+  // (lane 0) is the outer ring.
+  const RingRoad r(2, 3.5, 30.0);
+  EXPECT_EQ(r.lane_at({31.0, 0.0}), 1);  // inner ring
+  EXPECT_EQ(r.lane_at({35.5, 0.0}), 0);  // outer ring
+  EXPECT_EQ(r.lane_at({20.0, 0.0}), -1);
+}
+
+TEST(RingRoad, LateralPointsLeftOfTravel) {
+  const RingRoad r(2, 3.5, 30.0);
+  // d grows toward the centre (left of CCW travel).
+  EXPECT_GT(r.lateral({31.0, 0.0}), r.lateral({36.0, 0.0}));
+  EXPECT_NEAR(r.lateral({37.0, 0.0}), 0.0, 1e-12);  // outer edge
+}
+
+TEST(RingRoad, CurvatureMatchesDrivenRadius) {
+  const RingRoad r(2, 3.5, 30.0);
+  // Lane 0 centre: radius 37 - 1.75 = 35.25.
+  EXPECT_NEAR(r.curvature_at(0.0, r.lane_center_offset(0)), 1.0 / 35.25, 1e-12);
+}
+
+TEST(RingRoad, FrenetRoundTrip) {
+  const RingRoad r(2, 3.5, 30.0);
+  for (double s : {0.0, 20.0, 90.0, 150.0}) {
+    for (double d : {1.0, 5.0}) {
+      const geom::Vec2 p = r.point_at(s, d);
+      EXPECT_NEAR(r.arclength(p), s, 1e-9);
+      EXPECT_NEAR(r.lateral(p), d, 1e-9);
+    }
+  }
+}
+
+TEST(RingRoad, HeadingIsTangent) {
+  const RingRoad r(1, 3.5, 30.0);
+  // At angle 0 (point (30+, 0)), CCW travel heads +y.
+  EXPECT_NEAR(r.heading_at(0.0), M_PI / 2.0, 1e-12);
+  // Quarter way round, travel heads -x.
+  EXPECT_NEAR(std::abs(r.heading_at(r.road_length() / 4.0)), M_PI, 1e-9);
+}
+
+TEST(RingRoad, RoadLengthIsInnerCircumference) {
+  const RingRoad r(2, 3.5, 30.0);
+  EXPECT_NEAR(r.road_length(), 2.0 * M_PI * 30.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace iprism::roadmap

@@ -1,0 +1,149 @@
+#include "eval/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/lbc.hpp"
+#include "agents/ttc_aca.hpp"
+#include "roadmap/straight_road.hpp"
+#include "sim/behaviors.hpp"
+
+namespace iprism::eval {
+namespace {
+
+roadmap::MapPtr test_map(double length = 500.0) {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, length);
+}
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+sim::Actor stopped_car(double x, double y) {
+  sim::Actor a;
+  a.kind = sim::ActorKind::kVehicle;
+  a.state = state(x, y, 0.0);
+  return a;
+}
+
+/// Agent that drives blindly at constant speed (for forcing collisions).
+class BlindAgent final : public agents::DrivingAgent {
+ public:
+  dynamics::Control act(const sim::World&) override { return {0.0, 0.0}; }
+  std::string_view name() const override { return "blind"; }
+};
+
+TEST(Runner, RecordsTracesForAllActors) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 8));
+  w.add_actor(stopped_car(400, 1.75));
+  BlindAgent agent;
+  RunOptions opt;
+  opt.max_seconds = 2.0;
+  const EpisodeResult r = run_episode(std::move(w), agent, nullptr, opt);
+  EXPECT_EQ(r.actors.size(), 2u);
+  EXPECT_EQ(r.samples, 21);  // initial + 20 steps
+  EXPECT_FALSE(r.ego_accident);
+  EXPECT_NEAR(r.ego_progress, 16.0, 1e-6);
+  EXPECT_TRUE(r.ego_trace().is_ego);
+}
+
+TEST(Runner, DetectsAccidentAndStops) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 10));
+  w.add_actor(stopped_car(25, 5.25));
+  BlindAgent agent;
+  const EpisodeResult r = run_episode(std::move(w), agent);
+  EXPECT_TRUE(r.ego_accident);
+  EXPECT_GT(r.accident_step, 0);
+  EXPECT_LT(r.accident_time, 2.0);
+  // Trace ends at (or just after) the accident.
+  EXPECT_EQ(r.samples, r.accident_step + 1);
+}
+
+TEST(Runner, StopsAtRoadEnd) {
+  sim::World w(test_map(100.0), 0.1);
+  w.add_ego(state(10, 5.25, 10));
+  BlindAgent agent;
+  RunOptions opt;
+  opt.max_seconds = 60.0;
+  const EpisodeResult r = run_episode(std::move(w), agent, nullptr, opt);
+  EXPECT_TRUE(r.reached_road_end);
+  EXPECT_FALSE(r.ego_accident);
+  EXPECT_LT(r.samples, 600);
+}
+
+TEST(Runner, RecordsMitigation) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 12));
+  w.add_actor(stopped_car(60, 5.25));
+  BlindAgent agent;
+  agents::TtcAcaController aca;
+  const EpisodeResult r = run_episode(std::move(w), agent, &aca);
+  ASSERT_TRUE(r.first_mitigation_time.has_value());
+  EXPECT_GT(r.mitigation_steps, 0);
+  // ACA full-brakes from 12 m/s with TTC threshold 1.8 s; it prevents the
+  // collision with a 40+ m gap.
+  EXPECT_FALSE(r.ego_accident);
+}
+
+TEST(Runner, SnapshotMatchesTrace) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 8));
+  w.add_actor(stopped_car(400, 1.75));
+  BlindAgent agent;
+  RunOptions opt;
+  opt.max_seconds = 1.0;
+  const EpisodeResult r = run_episode(std::move(w), agent, nullptr, opt);
+  const auto scene = r.snapshot_at(5);
+  EXPECT_NEAR(scene.time, 0.5, 1e-12);
+  EXPECT_NEAR(scene.ego.state.x, 14.0, 1e-9);
+  ASSERT_EQ(scene.others.size(), 1u);
+  EXPECT_NEAR(scene.others[0].state.x, 400.0, 1e-9);
+  EXPECT_THROW(r.snapshot_at(-1), std::invalid_argument);
+  EXPECT_THROW(r.snapshot_at(r.samples), std::invalid_argument);
+}
+
+TEST(Runner, GroundTruthForecastsHoldFinalState) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 8));
+  w.add_actor(stopped_car(400, 1.75));
+  BlindAgent agent;
+  RunOptions opt;
+  opt.max_seconds = 1.0;
+  const EpisodeResult r = run_episode(std::move(w), agent, nullptr, opt);
+  const auto forecasts = r.ground_truth_forecasts(0);
+  ASSERT_EQ(forecasts.size(), 1u);
+  // Query far beyond the recorded horizon: the final state is held.
+  EXPECT_NEAR(forecasts[0].trajectory.at(100.0).x, 400.0, 1e-9);
+}
+
+TEST(Runner, RequiresEgo) {
+  sim::World w(test_map(), 0.1);
+  BlindAgent agent;
+  EXPECT_THROW(run_episode(std::move(w), agent), std::invalid_argument);
+}
+
+TEST(Runner, LbcAvoidsSlowLeadGivenRoom) {
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(10, 5.25, 8));
+  sim::LaneFollowBehavior::Params lf;
+  lf.lane = 1;
+  lf.target_speed = 3.0;
+  sim::Actor slow;
+  slow.kind = sim::ActorKind::kVehicle;
+  slow.state = state(80, 5.25, 3.0);
+  slow.behavior = std::make_unique<sim::LaneFollowBehavior>(lf);
+  w.add_actor(std::move(slow));
+  agents::LbcAgent lbc;
+  RunOptions opt;
+  opt.max_seconds = 20.0;
+  const EpisodeResult r = run_episode(std::move(w), lbc, nullptr, opt);
+  EXPECT_FALSE(r.ego_accident);
+}
+
+}  // namespace
+}  // namespace iprism::eval

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "scenario/factory.hpp"
+#include "scenario/suite.hpp"
+#include "sim/queries.hpp"
+
+namespace iprism::scenario {
+namespace {
+
+TEST(Spec, ParamLookupChecksKey) {
+  ScenarioSpec spec;
+  spec.hyperparams["a"] = 1.5;
+  EXPECT_DOUBLE_EQ(spec.param("a"), 1.5);
+  EXPECT_THROW(spec.param("missing"), std::invalid_argument);
+}
+
+TEST(Factory, ConfigValidation) {
+  ScenarioConfig bad;
+  bad.lanes = 1;
+  EXPECT_THROW(ScenarioFactory{bad}, std::invalid_argument);
+  bad = {};
+  bad.ego_lane = 5;
+  EXPECT_THROW(ScenarioFactory{bad}, std::invalid_argument);
+}
+
+TEST(Factory, SampleProducesTableIHyperparameters) {
+  const ScenarioFactory factory;
+  common::Rng rng(1);
+  const auto ghost = factory.sample(Typology::kGhostCutIn, 0, rng);
+  EXPECT_TRUE(ghost.hyperparams.count("distance_same_lane"));
+  EXPECT_TRUE(ghost.hyperparams.count("distance_lane_change"));
+  EXPECT_TRUE(ghost.hyperparams.count("speed_lane_change"));
+
+  const auto lead = factory.sample(Typology::kLeadCutIn, 0, rng);
+  EXPECT_TRUE(lead.hyperparams.count("event_trigger_distance"));
+
+  const auto slow = factory.sample(Typology::kLeadSlowdown, 0, rng);
+  EXPECT_TRUE(slow.hyperparams.count("npc_vehicle_location"));
+  EXPECT_TRUE(slow.hyperparams.count("npc_vehicle_speed"));
+
+  const auto rear = factory.sample(Typology::kRearEnd, 0, rng);
+  EXPECT_TRUE(rear.hyperparams.count("npc_vehicle_1_speed"));
+  EXPECT_TRUE(rear.hyperparams.count("npc_vehicle_2_speed"));
+  EXPECT_TRUE(rear.hyperparams.count("npc_vehicle_1_location"));
+}
+
+TEST(Factory, SamplingIsUniformWithinRanges) {
+  const ScenarioFactory factory;
+  common::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = factory.sample(Typology::kGhostCutIn, i, rng);
+    EXPECT_GE(s.param("distance_same_lane"), 8.0);
+    EXPECT_LE(s.param("distance_same_lane"), 30.0);
+    EXPECT_GE(s.param("speed_lane_change"), 1.5);
+    EXPECT_LE(s.param("speed_lane_change"), 4.0);
+  }
+}
+
+TEST(Factory, BuildIsDeterministic) {
+  const ScenarioFactory factory;
+  common::Rng rng(3);
+  const auto spec = factory.sample(Typology::kLeadSlowdown, 0, rng);
+  sim::World a = factory.build(spec);
+  sim::World b = factory.build(spec);
+  for (int i = 0; i < 100; ++i) {
+    a.step(dynamics::Control{0.0, 0.0});
+    b.step(dynamics::Control{0.0, 0.0});
+  }
+  EXPECT_DOUBLE_EQ(a.ego().state.x, b.ego().state.x);
+  ASSERT_EQ(a.actors().size(), b.actors().size());
+  for (std::size_t i = 0; i < a.actors().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.actors()[i].state.x, b.actors()[i].state.x);
+  }
+}
+
+TEST(Factory, ActorCountsPerTypology) {
+  const ScenarioFactory factory;
+  common::Rng rng(4);
+  EXPECT_EQ(factory.build(factory.sample(Typology::kGhostCutIn, 0, rng)).actors().size(),
+            2u);  // ego + threat
+  EXPECT_EQ(factory.build(factory.sample(Typology::kLeadCutIn, 0, rng)).actors().size(),
+            2u);
+  EXPECT_EQ(factory.build(factory.sample(Typology::kLeadSlowdown, 0, rng)).actors().size(),
+            2u);
+  EXPECT_EQ(factory.build(factory.sample(Typology::kFrontAccident, 0, rng)).actors().size(),
+            3u);  // ego + partner + merger
+  EXPECT_EQ(factory.build(factory.sample(Typology::kRearEnd, 0, rng)).actors().size(),
+            3u);  // ego + chaser + distant lead
+}
+
+TEST(Factory, InstanceParityPicksThreatSide) {
+  const ScenarioFactory factory;
+  common::Rng rng(5);
+  auto even = factory.sample(Typology::kGhostCutIn, 0, rng);
+  auto odd = factory.sample(Typology::kGhostCutIn, 1, rng);
+  const sim::World we = factory.build(even);
+  const sim::World wo = factory.build(odd);
+  // Threat starts in lane 0 for even instances, lane 2 for odd.
+  EXPECT_EQ(sim::lane_of(we, we.actors()[1]), 0);
+  EXPECT_EQ(sim::lane_of(wo, wo.actors()[1]), 2);
+}
+
+TEST(Factory, NonFrontAccidentAlwaysValid) {
+  const ScenarioFactory factory;
+  common::Rng rng(6);
+  EXPECT_TRUE(factory.valid(factory.sample(Typology::kGhostCutIn, 0, rng)));
+  EXPECT_TRUE(factory.valid(factory.sample(Typology::kRearEnd, 0, rng)));
+}
+
+TEST(Factory, RoundaboutVariantOnlyForGhostCutIn) {
+  const ScenarioFactory factory;
+  common::Rng rng(7);
+  const auto ghost = factory.sample(Typology::kGhostCutIn, 0, rng);
+  const sim::World w = factory.build_roundabout(ghost);
+  EXPECT_TRUE(w.has_ego());
+  EXPECT_EQ(w.actors().size(), 2u);
+  const auto slow = factory.sample(Typology::kLeadSlowdown, 0, rng);
+  EXPECT_THROW(factory.build_roundabout(slow), std::invalid_argument);
+}
+
+TEST(Suite, DeterministicAndFiltered) {
+  const ScenarioFactory factory;
+  const SuiteResult a = generate_suite(factory, Typology::kFrontAccident, 40, 99);
+  const SuiteResult b = generate_suite(factory, Typology::kFrontAccident, 40, 99);
+  EXPECT_EQ(a.specs.size(), b.specs.size());
+  EXPECT_EQ(a.discarded, b.discarded);
+  EXPECT_EQ(static_cast<int>(a.specs.size()) + a.discarded, 40);
+  // The front-accident range is tuned so that a noticeable minority of
+  // draws (merger slower than its partner) is discarded — like the paper's
+  // 190 of 1000.
+  EXPECT_GT(a.discarded, 0);
+  EXPECT_LT(a.discarded, 20);
+}
+
+TEST(Suite, NonFilteringTypologyKeepsAll) {
+  const ScenarioFactory factory;
+  const SuiteResult s = generate_suite(factory, Typology::kGhostCutIn, 25, 7);
+  EXPECT_EQ(s.specs.size(), 25u);
+  EXPECT_EQ(s.discarded, 0);
+}
+
+TEST(Suite, CountValidation) {
+  const ScenarioFactory factory;
+  EXPECT_THROW(generate_suite(factory, Typology::kGhostCutIn, 0, 1), std::invalid_argument);
+}
+
+TEST(Jitter, PerturbsWithinFraction) {
+  const ScenarioFactory factory;
+  common::Rng rng(8);
+  const auto spec = factory.sample(Typology::kGhostCutIn, 0, rng);
+  common::Rng jrng(3);
+  const auto jittered = jitter_spec(spec, 0.1, jrng);
+  EXPECT_EQ(jittered.typology, spec.typology);
+  ASSERT_EQ(jittered.hyperparams.size(), spec.hyperparams.size());
+  bool any_changed = false;
+  for (const auto& [key, value] : spec.hyperparams) {
+    const double j = jittered.param(key);
+    EXPECT_GE(j, value * 0.9 - 1e-12);
+    EXPECT_LE(j, value * 1.1 + 1e-12);
+    if (j != value) any_changed = true;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Jitter, ZeroFractionIsIdentity) {
+  const ScenarioFactory factory;
+  common::Rng rng(8);
+  const auto spec = factory.sample(Typology::kRearEnd, 0, rng);
+  common::Rng jrng(3);
+  const auto same = jitter_spec(spec, 0.0, jrng);
+  EXPECT_EQ(same.hyperparams, spec.hyperparams);
+}
+
+TEST(Jitter, ValidatesFraction) {
+  ScenarioSpec spec;
+  common::Rng jrng(1);
+  EXPECT_THROW(jitter_spec(spec, 1.0, jrng), std::invalid_argument);
+  EXPECT_THROW(jitter_spec(spec, -0.1, jrng), std::invalid_argument);
+}
+
+TEST(TypologyName, AllNamed) {
+  for (Typology t : kAllTypologies) {
+    EXPECT_FALSE(typology_name(t).empty());
+    EXPECT_NE(typology_name(t), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace iprism::scenario

@@ -1,0 +1,118 @@
+#include "smc/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agents/lbc.hpp"
+#include "roadmap/straight_road.hpp"
+#include "scenario/factory.hpp"
+#include "smc/features.hpp"
+
+namespace iprism::smc {
+namespace {
+
+SmcTrainConfig tiny_config() {
+  SmcTrainConfig c;
+  c.episodes = 3;
+  c.max_seconds = 6.0;
+  c.ddqn.warmup_transitions = 16;
+  c.ddqn.batch_size = 8;
+  c.tube.horizon = 2.0;
+  c.tube.cell_size = 1.0;
+  return c;
+}
+
+TEST(SmcTrainer, ValidatesConfig) {
+  SmcTrainConfig c;
+  c.episodes = 0;
+  EXPECT_THROW(SmcTrainer{c}, std::invalid_argument);
+  c = {};
+  c.action_count = 7;
+  EXPECT_THROW(SmcTrainer{c}, std::invalid_argument);
+  c.action_count = kActionCountFull;
+  EXPECT_NO_THROW(SmcTrainer{c});
+}
+
+TEST(SmcTrainer, TrainsAndReturnsPolicyOfRightShape) {
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(1);
+  const auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 0, rng);
+  agents::LbcAgent lbc;
+  SmcTrainer trainer(tiny_config());
+  SmcTrainStats stats;
+  const rl::Mlp policy =
+      trainer.train([&](int) { return factory.build(spec); }, lbc, &stats);
+  EXPECT_EQ(policy.input_size(), kFeatureCount);
+  EXPECT_EQ(policy.output_size(), kActionCountBrakeAccel);
+  EXPECT_EQ(stats.episode_returns.size(), 3u);
+  EXPECT_EQ(stats.episode_collided.size(), 3u);
+}
+
+TEST(SmcTrainer, DeterministicGivenSeed) {
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(1);
+  const auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 0, rng);
+  auto run = [&] {
+    agents::LbcAgent lbc;
+    SmcTrainer trainer(tiny_config());
+    SmcTrainStats stats;
+    trainer.train([&](int) { return factory.build(spec); }, lbc, &stats);
+    return stats.episode_returns;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SmcTrainer, AblationConfigSkipsStiComputation) {
+  // The w/o-STI ablation must run (and differ in reward) without touching
+  // the STI calculator path.
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(2);
+  const auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 1, rng);
+  SmcTrainConfig c = tiny_config();
+  c.reward.use_sti = false;
+  agents::LbcAgent lbc;
+  SmcTrainer trainer(c);
+  SmcTrainStats stats;
+  trainer.train([&](int) { return factory.build(spec); }, lbc, &stats);
+  EXPECT_EQ(stats.episode_returns.size(), 3u);
+}
+
+TEST(SmcTrainStats, RecentCollisionRate) {
+  SmcTrainStats stats;
+  EXPECT_DOUBLE_EQ(stats.recent_collision_rate(), 0.0);
+  stats.episode_collided = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(stats.recent_collision_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(stats.recent_collision_rate(4), 0.5);
+  EXPECT_DOUBLE_EQ(stats.recent_collision_rate(100), 0.5);
+}
+
+TEST(SmcTrainStats, RewardPerDecision) {
+  SmcTrainStats stats;
+  EXPECT_DOUBLE_EQ(stats.recent_reward_per_decision(), 0.0);
+  stats.episode_returns = {10.0, 20.0};
+  stats.episode_decisions = {10, 10};
+  EXPECT_DOUBLE_EQ(stats.recent_reward_per_decision(2), 1.5);
+  EXPECT_DOUBLE_EQ(stats.recent_reward_per_decision(1), 2.0);
+}
+
+TEST(SmcTrainer, StatsTrackDecisionCounts) {
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(1);
+  const auto spec = factory.sample(scenario::Typology::kLeadSlowdown, 0, rng);
+  agents::LbcAgent lbc;
+  SmcTrainer trainer(tiny_config());
+  SmcTrainStats stats;
+  trainer.train([&](int) { return factory.build(spec); }, lbc, &stats);
+  ASSERT_EQ(stats.episode_decisions.size(), stats.episode_returns.size());
+  for (int d : stats.episode_decisions) EXPECT_GT(d, 0);
+}
+
+TEST(SmcTrainer, RequiresEgoInWorld) {
+  SmcTrainer trainer(tiny_config());
+  agents::LbcAgent lbc;
+  auto map = std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+  EXPECT_THROW(trainer.train([&](int) { return sim::World(map, 0.1); }, lbc, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprism::smc

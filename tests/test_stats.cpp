@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprism::common {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleElement) { EXPECT_DOUBLE_EQ(percentile({3.0}, 90.0), 3.0); }
+
+TEST(Percentile, MedianInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeQ) {
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(MeanStddevOf, BasicValues) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(stddev_of({1.0, 2.0, 3.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(AggregateSeries, UnequalLengths) {
+  const auto agg = aggregate_series({{1.0, 2.0, 3.0}, {3.0, 4.0}});
+  ASSERT_EQ(agg.mean.size(), 3u);
+  EXPECT_DOUBLE_EQ(agg.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(agg.mean[1], 3.0);
+  EXPECT_DOUBLE_EQ(agg.mean[2], 3.0);  // only the longer series reaches index 2
+  EXPECT_EQ(agg.count[0], 2u);
+  EXPECT_EQ(agg.count[2], 1u);
+}
+
+TEST(AggregateSeries, EmptyInput) {
+  const auto agg = aggregate_series({});
+  EXPECT_TRUE(agg.mean.empty());
+}
+
+class PercentileMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInQ) {
+  const std::vector<double> v{4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const double q = GetParam();
+  EXPECT_LE(percentile(v, q), percentile(v, std::min(q + 10.0, 100.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotoneTest,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0));
+
+}  // namespace
+}  // namespace iprism::common

@@ -1,0 +1,64 @@
+#include "eval/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "agents/lbc.hpp"
+#include "scenario/factory.hpp"
+
+namespace iprism::eval {
+namespace {
+
+EpisodeResult sample_episode() {
+  const scenario::ScenarioFactory factory;
+  common::Rng rng(3);
+  const auto spec = factory.sample(scenario::Typology::kGhostCutIn, 0, rng);
+  agents::LbcAgent lbc;
+  RunOptions opt;
+  opt.max_seconds = 4.0;
+  return run_episode(factory.build(spec), lbc, nullptr, opt);
+}
+
+TEST(TraceIo, RoundTripPreservesEverySample) {
+  const EpisodeResult episode = sample_episode();
+  std::stringstream ss;
+  write_episode_csv(ss, episode);
+  const auto traces = read_episode_csv(ss);
+
+  ASSERT_EQ(traces.size(), episode.actors.size());
+  for (const ActorTrace& original : episode.actors) {
+    const auto it = std::find_if(traces.begin(), traces.end(),
+                                 [&](const ActorTrace& t) { return t.id == original.id; });
+    ASSERT_NE(it, traces.end());
+    EXPECT_EQ(it->is_ego, original.is_ego);
+    EXPECT_DOUBLE_EQ(it->dims.length, original.dims.length);
+    ASSERT_EQ(it->trajectory.size(), original.trajectory.size());
+    for (std::size_t k = 0; k < original.trajectory.samples().size(); ++k) {
+      const auto& a = original.trajectory.samples()[k];
+      const auto& b = it->trajectory.samples()[k];
+      EXPECT_DOUBLE_EQ(a.t, b.t);
+      EXPECT_DOUBLE_EQ(a.state.x, b.state.x);
+      EXPECT_DOUBLE_EQ(a.state.heading, b.state.heading);
+      EXPECT_DOUBLE_EQ(a.state.speed, b.state.speed);
+    }
+  }
+}
+
+TEST(TraceIo, HeaderIsRequired) {
+  std::stringstream ss("1,0,4.5,2.0,0.0,1,2,0,5\n");
+  EXPECT_THROW(read_episode_csv(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, TruncatedRowRejected) {
+  std::stringstream ss("actor_id,is_ego,length,width,t,x,y,heading,speed\n1,0,4.5\n");
+  EXPECT_THROW(read_episode_csv(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, EmptyBodyYieldsNoTraces) {
+  std::stringstream ss("actor_id,is_ego,length,width,t,x,y,heading,speed\n");
+  EXPECT_TRUE(read_episode_csv(ss).empty());
+}
+
+}  // namespace
+}  // namespace iprism::eval

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/dist_cipa.hpp"
+#include "core/ttc.hpp"
+#include "roadmap/straight_road.hpp"
+
+namespace iprism::core {
+namespace {
+
+std::shared_ptr<roadmap::StraightRoad> test_map() {
+  return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
+}
+
+SceneSnapshot make_scene(const std::shared_ptr<roadmap::StraightRoad>& map) {
+  SceneSnapshot scene;
+  scene.map = map.get();
+  scene.ego.id = 0;
+  scene.ego.state.x = 50.0;
+  scene.ego.state.y = 5.25;
+  scene.ego.state.speed = 10.0;
+  scene.ego.dims = {4.5, 2.0};
+  return scene;
+}
+
+ActorSnapshot other(int id, double x, double y, double speed) {
+  ActorSnapshot a;
+  a.id = id;
+  a.state.x = x;
+  a.state.y = y;
+  a.state.speed = speed;
+  a.dims = {4.5, 2.0};
+  return a;
+}
+
+TEST(Ttc, InfiniteWithoutInPathActor) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  const TtcMetric ttc(3.0);
+  EXPECT_EQ(ttc.value(scene), TtcMetric::kInfinity);
+  EXPECT_DOUBLE_EQ(ttc.risk(scene), 0.0);
+}
+
+TEST(Ttc, ComputesGapOverClosingSpeed) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 74.5, 5.25, 4.0));  // gap 20 m, closing 6 m/s
+  const TtcMetric ttc(10.0);
+  EXPECT_NEAR(ttc.value(scene), 20.0 / 6.0, 1e-9);
+}
+
+TEST(Ttc, InfiniteWhenLeadIsFaster) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 74.5, 5.25, 15.0));
+  const TtcMetric ttc(3.0);
+  EXPECT_EQ(ttc.value(scene), TtcMetric::kInfinity);
+}
+
+TEST(Ttc, RiskThresholdBehaviour) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 74.5, 5.25, 4.0));  // TTC = 3.33 s
+  EXPECT_DOUBLE_EQ(TtcMetric(3.0).risk(scene), 0.0);  // above threshold
+  const double risk = TtcMetric(5.0).risk(scene);     // below threshold
+  EXPECT_GT(risk, 0.0);
+  EXPECT_LT(risk, 1.0);
+}
+
+TEST(Ttc, OutOfPathAdjacentActorIgnored) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 60.0, 1.75, 0.0));  // adjacent lane centre
+  EXPECT_EQ(TtcMetric(3.0).value(scene), TtcMetric::kInfinity);
+}
+
+TEST(DistCipa, InfiniteWithoutInPathActor) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  const DistCipaMetric cipa(25.0);
+  EXPECT_EQ(cipa.value(scene), DistCipaMetric::kInfinity);
+  EXPECT_DOUBLE_EQ(cipa.risk(scene), 0.0);
+}
+
+TEST(DistCipa, MeasuresBumperGap) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 74.5, 5.25, 4.0));
+  EXPECT_NEAR(DistCipaMetric(25.0).value(scene), 20.0, 1e-9);
+}
+
+TEST(DistCipa, RiskScalesInsideThreshold) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 64.5, 5.25, 4.0));  // gap 10 m
+  EXPECT_NEAR(DistCipaMetric(25.0).risk(scene), 0.6, 1e-9);
+  EXPECT_DOUBLE_EQ(DistCipaMetric(10.0).risk(scene), 0.0);
+}
+
+TEST(DistCipa, PicksNearestOfSeveral) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.others.push_back(other(1, 100.0, 5.25, 4.0));
+  scene.others.push_back(other(2, 64.5, 5.25, 4.0));
+  EXPECT_NEAR(DistCipaMetric(50.0).value(scene), 10.0, 1e-9);
+}
+
+TEST(SceneQueries, ClosestInPathSlowEgoNotClosing) {
+  const auto map = test_map();
+  SceneSnapshot scene = make_scene(map);
+  scene.ego.state.speed = 2.0;
+  scene.others.push_back(other(1, 74.5, 5.25, 6.0));
+  const auto cipa = closest_in_path(scene);
+  ASSERT_TRUE(cipa.has_value());
+  EXPECT_LT(cipa->closing_speed, 0.0);  // pulling away
+}
+
+}  // namespace
+}  // namespace iprism::core

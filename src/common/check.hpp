@@ -3,6 +3,12 @@
 // IPRISM_CHECK throws std::invalid_argument with a source-located message;
 // it is used for public-API precondition violations (I.5 / P.7: catch
 // run-time errors early, report them loudly).
+//
+// IPRISM_DCHECK is its debug-only companion for hot-path invariants (slice
+// index bounds, non-negative volumes, clamping preconditions): identical
+// behavior when NDEBUG is unset or IPRISM_ENABLE_DCHECKS is defined (the
+// sanitizer presets define it), compiled out — argument unevaluated — in
+// plain release builds.
 #pragma once
 
 #include <sstream>
@@ -25,3 +31,11 @@ namespace iprism {
   do {                                                                   \
     if (!(expr)) ::iprism::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+#if !defined(NDEBUG) || defined(IPRISM_ENABLE_DCHECKS)
+#define IPRISM_DCHECK(expr, msg) IPRISM_CHECK(expr, msg)
+#else
+#define IPRISM_DCHECK(expr, msg) \
+  do {                           \
+  } while (false)
+#endif

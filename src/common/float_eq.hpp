@@ -1,0 +1,29 @@
+// Epsilon-tolerant floating-point comparison.
+//
+// Raw `==` on doubles is flagged by tools/iprism_lint.py (rule float-eq):
+// most call sites that write it mean "close enough after rounding", and the
+// ones that genuinely mean exact bit equality (comparing against a
+// clamped-to-zero sentinel, a value never touched by arithmetic) should say
+// so with a lint suppression. Everything else goes through near().
+#pragma once
+
+#include <cmath>
+
+namespace iprism::common {
+
+/// Default absolute tolerance for near(): generous enough for accumulated
+/// trajectory arithmetic at map scale (~1e3 m coordinates), far below any
+/// physically meaningful difference.
+inline constexpr double kDefaultEps = 1e-9;
+
+/// True when |a - b| <= eps. NaN compares unequal to everything.
+inline bool near(double a, double b, double eps = kDefaultEps) {
+  return std::abs(a - b) <= eps;
+}
+
+/// True when |v| <= eps.
+inline bool near_zero(double v, double eps = kDefaultEps) {
+  return std::abs(v) <= eps;
+}
+
+}  // namespace iprism::common

@@ -54,6 +54,11 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
         sti_.combined(world.map(), world.ego().state, world.time(), forecasts);
   }
 
+  // STI is clamped to [0, 1] by construction; the threshold comparison
+  // below silently misclassifies if that ever breaks.
+  IPRISM_DCHECK(out.sti_combined >= 0.0 && out.sti_combined <= 1.0,
+                "RiskMonitor: STI must lie in [0, 1]");
+
   // Instantaneous level implied by the current STI.
   RiskLevel implied = RiskLevel::kSafe;
   if (out.sti_combined >= params_.critical_threshold) {

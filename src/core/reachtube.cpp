@@ -37,6 +37,11 @@ ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
   IPRISM_CHECK(params.cell_size > 0.0, "ReachTubeParams: cell_size must be positive");
   IPRISM_CHECK(params.uniform_samples > 0,
                "ReachTubeParams: uniform_samples must be positive");
+  IPRISM_CHECK(params.max_states_per_slice > 0,
+               "ReachTubeParams: max_states_per_slice must be positive");
+  IPRISM_CHECK(params.limits.accel_min < params.limits.accel_max &&
+                   params.limits.steer_min < params.limits.steer_max,
+               "ReachTubeParams: control limits must span a non-empty range");
   slices_ = static_cast<int>(std::lround(params.horizon / params.dt));
   IPRISM_CHECK(slices_ >= 1, "ReachTubeParams: horizon must cover at least one slice");
 
@@ -79,6 +84,8 @@ bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
   const double ego_r = ego_box.circumradius();
   for (const ObstacleTimeline& obs : obstacles) {
     if (obs.actor_id == exclude_id) continue;
+    IPRISM_DCHECK(slice < obs.by_slice.size(),
+                  "ReachTube: slice index out of obstacle timeline bounds");
     const geom::OrientedBox& box = obs.by_slice[slice];
     // Broad phase before the exact SAT test.
     const double r = ego_r + box.circumradius();
@@ -201,7 +208,11 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
         for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) kept.insert(idx);
       }
       next.reserve(kept.size());
-      for (int idx : kept) next.push_back(candidates[static_cast<std::size_t>(idx)]);
+      for (int idx : kept) {
+        IPRISM_DCHECK(idx >= 0 && static_cast<std::size_t>(idx) < candidates.size(),
+                      "ReachTube: representative slot out of candidate bounds");
+        next.push_back(candidates[static_cast<std::size_t>(idx)]);
+      }
     } else {
       volume_cells += occupied.size();
       next = candidates;
@@ -210,6 +221,7 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   }
 
   tube.volume = static_cast<double>(volume_cells);
+  IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");
   return tube;
 }
 

@@ -66,6 +66,7 @@ struct ReachTube {
   /// State-space occupancy |T|: distinct (x, y) cells summed over slices.
   double volume = 0.0;
 
+  // iprism-lint: allow(float-eq) volume is an integer-valued cell count, never arithmetic
   bool empty() const { return volume == 0.0; }
 };
 

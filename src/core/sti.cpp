@@ -1,6 +1,9 @@
 #include "core/sti.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace iprism::core {
 
@@ -31,6 +34,8 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // |T^{∅}|: tube against an empty obstacle set.
   out.volume_empty =
       tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  IPRISM_DCHECK(out.volume_all >= 0.0 && out.volume_empty >= 0.0,
+                "STI: tube volumes must be non-negative");
 
   if (out.volume_empty <= 0.0) {
     // No escape routes even without actors (ego off the drivable area);
@@ -45,6 +50,9 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   out.per_actor.reserve(forecasts.size());
   for (const ActorForecast& f : forecasts) {
     const double vol_without = tube_.compute(map, ego, obstacles, f.id).volume;
+    // clamp01 precondition: the raw ratio must at least be a number — a NaN
+    // here (0/0 escaping the volume_empty guard above) would clamp silently.
+    IPRISM_DCHECK(std::isfinite(vol_without), "STI: counterfactual volume must be finite");
     out.per_actor.emplace_back(
         f.id, clamp01((vol_without - out.volume_all) / out.volume_empty));
   }
@@ -58,6 +66,8 @@ double StiCalculator::combined(const roadmap::DrivableMap& map,
   const double vol_all = tube_.compute(map, ego, obstacles).volume;
   const double vol_empty =
       tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  IPRISM_DCHECK(vol_all >= 0.0 && vol_empty >= 0.0,
+                "STI: tube volumes must be non-negative");
   if (vol_empty <= 0.0) return 0.0;
   (void)kExcludeAll;
   return clamp01((vol_empty - vol_all) / vol_empty);

@@ -23,9 +23,11 @@ dynamics::VehicleState lane_state(const roadmap::DrivableMap& map, int lane, dou
 }  // namespace
 
 std::vector<TrafficLog> generate_dataset(const DatasetParams& params) {
-  IPRISM_CHECK(params.log_count > 0, "generate_dataset: log_count must be positive");
+  IPRISM_CHECK(params.log_count > 0, "DatasetParams: log_count must be positive");
   IPRISM_CHECK(params.min_actors >= 1 && params.max_actors >= params.min_actors,
-               "generate_dataset: bad actor count range");
+               "DatasetParams: bad actor count range");
+  IPRISM_CHECK(params.dt > 0.0 && params.seconds > 0.0,
+               "DatasetParams: dt and seconds must be positive");
   common::Rng master(params.seed);
   std::vector<TrafficLog> logs;
   logs.reserve(static_cast<std::size_t>(params.log_count));

@@ -19,6 +19,7 @@ VehicleState BicycleModel::step(const VehicleState& s, const Control& u, double 
   double v0 = s.speed;
   double v1 = std::clamp(v0 + u.accel * dt, 0.0, max_speed_);
   double move_dt = dt;
+  // iprism-lint: allow(float-eq) exact: std::clamp pins a full stop to literal 0.0
   if (v1 == 0.0 && v0 > 0.0 && u.accel < 0.0) {
     move_dt = std::min(dt, v0 / -u.accel);
   }

@@ -37,6 +37,17 @@ DdqnTrainer::DdqnTrainer(int state_size, int action_count, const std::vector<int
       buffer_(config.replay_capacity),
       rng_(seed ^ 0xD1CEBEEFULL) {
   IPRISM_CHECK(action_count >= 2, "DdqnTrainer: need at least two actions");
+  IPRISM_CHECK(config.gamma >= 0.0 && config.gamma <= 1.0,
+               "DdqnConfig: gamma must lie in [0, 1]");
+  IPRISM_CHECK(config.learning_rate > 0.0, "DdqnConfig: learning_rate must be positive");
+  IPRISM_CHECK(config.batch_size > 0, "DdqnConfig: batch_size must be positive");
+  IPRISM_CHECK(config.target_sync_interval > 0,
+               "DdqnConfig: target_sync_interval must be positive");
+  IPRISM_CHECK(config.warmup_transitions > 0,
+               "DdqnConfig: warmup_transitions must be positive");
+  IPRISM_CHECK(config.epsilon_start >= 0.0 && config.epsilon_start <= 1.0 &&
+                   config.epsilon_end >= 0.0 && config.epsilon_end <= 1.0,
+               "DdqnConfig: epsilon schedule endpoints must lie in [0, 1]");
   target_.copy_weights_from(online_);
 }
 
@@ -72,11 +83,14 @@ double DdqnTrainer::train_step() {
     if (!t->done) {
       // Double-DQN: online net selects, target net evaluates.
       const int best = argmax(online_.forward(t->next_state));
+      IPRISM_DCHECK(best >= 0 && best < action_count(),
+                    "DdqnTrainer: selected action out of range");
       target += config_.gamma *
                 target_.forward(t->next_state)[static_cast<std::size_t>(best)];
     }
     abs_td += std::abs(online_.accumulate_gradient(t->state, t->action, target));
   }
+  IPRISM_DCHECK(!batch.empty(), "DdqnTrainer: training batch must be non-empty");
   online_.apply_adam(config_.learning_rate);
 
   ++grad_steps_;

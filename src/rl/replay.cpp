@@ -10,9 +10,11 @@ ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
 }
 
 void ReplayBuffer::push(Transition t) {
+  IPRISM_DCHECK(buffer_.size() <= capacity_, "ReplayBuffer: size exceeded capacity");
   if (buffer_.size() < capacity_) {
     buffer_.push_back(std::move(t));
   } else {
+    IPRISM_DCHECK(next_ < capacity_, "ReplayBuffer: write cursor out of bounds");
     buffer_[next_] = std::move(t);
   }
   next_ = (next_ + 1) % capacity_;

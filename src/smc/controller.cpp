@@ -41,11 +41,13 @@ std::optional<dynamics::Control> apply_smc_action(SmcAction action,
 SmcController::SmcController(rl::Mlp policy, const SmcControlParams& params)
     : policy_(std::move(policy)), params_(params), noise_rng_(params.noise_seed) {
   IPRISM_CHECK(params.feature_noise_std >= 0.0,
-               "SmcController: feature_noise_std must be non-negative");
+               "SmcControlParams: feature_noise_std must be non-negative");
+  IPRISM_CHECK(params.decision_period >= 1,
+               "SmcControlParams: decision_period must be >= 1");
+  IPRISM_CHECK(params.brake_accel < 0.0 && params.accel_accel > 0.0,
+               "SmcControlParams: brake_accel must be negative and accel_accel positive");
   IPRISM_CHECK(policy_.input_size() == kFeatureCount,
                "SmcController: policy input size != feature count");
-  IPRISM_CHECK(params.decision_period >= 1,
-               "SmcController: decision period must be >= 1");
 }
 
 void SmcController::reset() {

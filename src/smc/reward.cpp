@@ -9,6 +9,7 @@ namespace iprism::smc {
 double smc_reward(const RewardParams& p, double sti_combined, double progress,
                   double interval, bool mitigated) {
   IPRISM_CHECK(interval > 0.0, "smc_reward: interval must be positive");
+  IPRISM_CHECK(p.cruise_speed > 0.0, "RewardParams: cruise_speed must be positive");
   double r = 0.0;
   if (p.use_sti) {
     r += p.alpha0 * (1.0 - std::clamp(sti_combined, 0.0, 1.0));

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies src/, tests/, bench/, and examples/
+# against .clang-format without rewriting anything. Run
+# `clang-format -i <file>` locally to fix findings.
+#
+# Exits 0 when clang-format is not installed (same graceful degradation as
+# run_tidy.sh); CI installs it, so formatting still gates merges.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${FMT}" >/dev/null 2>&1; then
+  echo "check_format: ${FMT} not found; skipping (install clang-format to enable)."
+  exit 0
+fi
+
+mapfile -t FILES < <(find src tests bench examples -name '*.cpp' -o -name '*.hpp' | sort)
+
+BAD=0
+for f in "${FILES[@]}"; do
+  if ! "${FMT}" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: needs formatting: $f"
+    BAD=1
+  fi
+done
+
+if [[ "${BAD}" -ne 0 ]]; then
+  echo "check_format: run clang-format -i on the files above." >&2
+  exit 1
+fi
+echo "check_format: ${#FILES[@]} files clean"

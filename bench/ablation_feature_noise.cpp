@@ -4,7 +4,7 @@
 // is an extension probing the trained policy's margin. Reuses the cached
 // ghost-cut-in policy from table3_mitigation.
 //
-//   ./ablation_feature_noise [--n=120] [--episodes=80] [--policy-dir=.]
+//   ./ablation_feature_noise [--n=120] [--episodes=80] [--policy-dir=.] [--threads=0]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -19,11 +19,13 @@ int main(int argc, char** argv) {
   const int n = args.get_int("n", 120);
   const int episodes = args.get_int("episodes", 80);
   const std::string policy_dir = args.get_string("policy-dir", ".");
+  const int threads = args.get_int("threads", 0);
 
   const scenario::ScenarioFactory factory;
   const auto t = scenario::Typology::kGhostCutIn;
   const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
-  const auto baseline = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+  const auto baseline =
+      bench::run_suite(factory, suite.specs, bench::lbc_maker(), {}, threads);
 
   bench::SmcPipelineOptions options;
   options.episodes = episodes;
@@ -40,9 +42,9 @@ int main(int argc, char** argv) {
     smc::SmcControlParams params;
     params.feature_noise_std = sigma;
     const auto mitigated = bench::run_suite(
-        factory, suite.specs, bench::lbc_maker(), [&] {
-          return std::make_unique<smc::SmcController>(*policy, params);
-        });
+        factory, suite.specs, bench::lbc_maker(),
+        [&] { return std::make_unique<smc::SmcController>(*policy, params); },
+        threads);
     const auto s = bench::ca_summary(baseline, mitigated);
     int activated = 0;
     for (const auto& first : mitigated.first_mitigation) {

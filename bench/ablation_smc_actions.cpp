@@ -11,7 +11,7 @@
 // override steering, so any LBC-vs-SMC integration conflicts the paper
 // predicts show up directly in the rates.
 //
-//   ./ablation_smc_actions [--n=120] [--episodes=80]
+//   ./ablation_smc_actions [--n=120] [--episodes=80] [--threads=0]
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 120);
   const int episodes = args.get_int("episodes", 80);
+  const int threads = args.get_int("threads", 0);
 
   const scenario::ScenarioFactory factory;
   const core::StiCalculator sti;
@@ -45,7 +46,8 @@ int main(int argc, char** argv) {
 
   for (scenario::Typology t : typologies) {
     const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
-    const auto baseline = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+    const auto baseline =
+        bench::run_suite(factory, suite.specs, bench::lbc_maker(), {}, threads);
     const auto train_idx = bench::select_training_spec(factory, suite.specs, sti);
     if (!train_idx) continue;
 
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
 
       const auto mitigated =
           bench::run_suite(factory, suite.specs, bench::lbc_maker(),
-                           bench::smc_maker(policy));
+                           bench::smc_maker(policy), threads);
       const auto s = bench::ca_summary(baseline, mitigated);
       table.add_row({std::string(scenario::typology_name(t)), set.label,
                      common::Table::num(s.ca_percent, 0),

@@ -1,8 +1,10 @@
 #include "bench_util.hpp"
 
 #include <fstream>
+#include <optional>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "common/stats.hpp"
 #include "eval/pkl_training.hpp"
 #include "eval/series.hpp"
@@ -36,20 +38,34 @@ double SuiteOutcome::mean_first_mitigation() const {
 
 SuiteOutcome run_suite(const scenario::ScenarioFactory& factory,
                        const std::vector<scenario::ScenarioSpec>& specs,
-                       const AgentMaker& agent, const ControllerMaker& controller) {
+                       const AgentMaker& agent, const ControllerMaker& controller,
+                       int num_threads) {
   SuiteOutcome out;
   out.scenarios = static_cast<int>(specs.size());
-  out.accident_flags.reserve(specs.size());
-  out.first_mitigation.reserve(specs.size());
-  for (const scenario::ScenarioSpec& spec : specs) {
+
+  // Episodes are index-owned: each worker touches only slot i. Accident
+  // flags are staged in a byte vector because concurrent writes to distinct
+  // std::vector<bool> elements would race on the shared packing word.
+  std::vector<unsigned char> accident(specs.size(), 0);
+  out.first_mitigation.assign(specs.size(), std::nullopt);
+
+  std::optional<common::ThreadPool> pool;
+  if (num_threads > 0) pool.emplace(static_cast<std::size_t>(num_threads));
+  common::parallel_for_each(pool ? &*pool : nullptr, specs.size(), [&](std::size_t i) {
     auto driving = agent();
     std::unique_ptr<agents::MitigationController> overlay;
     if (controller) overlay = controller();
     const eval::EpisodeResult r =
-        eval::run_episode(factory.build(spec), *driving, overlay.get());
-    out.accident_flags.push_back(r.ego_accident);
-    out.first_mitigation.push_back(r.first_mitigation_time);
-    if (r.ego_accident) ++out.accidents;
+        eval::run_episode(factory.build(specs[i]), *driving, overlay.get());
+    accident[i] = r.ego_accident ? 1 : 0;
+    out.first_mitigation[i] = r.first_mitigation_time;
+  });
+
+  // Index-ordered aggregation: identical to the serial loop's bookkeeping.
+  out.accident_flags.reserve(specs.size());
+  for (unsigned char flag : accident) {
+    out.accident_flags.push_back(flag != 0);
+    if (flag != 0) ++out.accidents;
   }
   return out;
 }

@@ -45,10 +45,16 @@ struct SuiteOutcome {
   double mean_first_mitigation() const;
 };
 
-/// Runs every spec with fresh agent/controller instances.
+/// Runs every spec with fresh agent/controller instances. `num_threads > 0`
+/// rolls scenarios out in parallel on a common::ThreadPool: every episode is
+/// self-contained (fresh world, fresh agent/controller from the makers) and
+/// results are aggregated by scenario index, so accident counts, flags, and
+/// mitigation times are byte-identical to the serial run (the benches'
+/// `--threads` flag plumbs into this).
 SuiteOutcome run_suite(const scenario::ScenarioFactory& factory,
                        const std::vector<scenario::ScenarioSpec>& specs,
-                       const AgentMaker& agent, const ControllerMaker& controller = {});
+                       const AgentMaker& agent, const ControllerMaker& controller = {},
+                       int num_threads = 0);
 
 /// Collision-avoidance summary versus a baseline run (Table III semantics:
 /// TAS = baseline accidents, CA = baseline accidents avoided by the

@@ -92,6 +92,27 @@ void BM_StiFullPerActor(benchmark::State& state) {
 }
 BENCHMARK(BM_StiFullPerActor);
 
+void BM_StiFullPerActorThreads(benchmark::State& state) {
+  // The parallel STI engine: same N+2 tube evaluation as BM_StiFullPerActor,
+  // fanned over a common::ThreadPool with `num_threads` workers (arg 0 = the
+  // serial fallback path through the same code). The JSON emitted by
+  //   ./overheads --benchmark_filter=StiFullPerActor
+  //     --benchmark_out=BENCH_parallel_sti.json --benchmark_out_format=json
+  // seeds the repo's perf trajectory; CI uploads it as an artifact. Results
+  // are bit-identical across thread counts (tests/test_parallel_sti.cpp).
+  auto& f = fixture();
+  core::ReachTubeParams params;
+  params.num_threads = static_cast<int>(state.range(0));
+  const core::StiCalculator sti(params);
+  const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
+  for (auto _ : state) {
+    const auto r =
+        sti.compute(f.world.map(), f.world.ego().state, f.world.time(), forecasts);
+    benchmark::DoNotOptimize(r.combined);
+  }
+}
+BENCHMARK(BM_StiFullPerActorThreads)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_CvtrForecasts(benchmark::State& state) {
   auto& f = fixture();
   for (auto _ : state) {

@@ -1,11 +1,13 @@
 // Reproduces paper Table I: number of safety-critical scenario instances,
 // hyperparameters per typology, and the baseline (LBC) accident count.
 //
-//   ./table1_scenarios [--n=1000]
+//   ./table1_scenarios [--n=1000] [--threads=0]
 //
 // The paper uses 1000 draws per typology; the default here is 300 so the
 // whole bench suite runs in minutes (pass --n=1000 for the full population;
 // rates are what matter, and they are stable from ~200 draws on).
+// --threads=K rolls scenarios out on K worker threads with byte-identical
+// counts (see bench_util::run_suite).
 #include <iostream>
 #include <sstream>
 
@@ -18,6 +20,7 @@ using namespace iprism;
 int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 300);
+  const int threads = args.get_int("threads", 0);
 
   const scenario::ScenarioFactory factory;
   common::Table table("Table I — scenario instances and baseline (LBC) accidents");
@@ -26,7 +29,8 @@ int main(int argc, char** argv) {
 
   for (scenario::Typology t : scenario::kAllTypologies) {
     const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
-    const auto outcome = bench::run_suite(factory, suite.specs, bench::lbc_maker());
+    const auto outcome =
+        bench::run_suite(factory, suite.specs, bench::lbc_maker(), {}, threads);
 
     std::ostringstream params;
     if (!suite.specs.empty()) {

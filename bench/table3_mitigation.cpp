@@ -7,10 +7,12 @@
 //   LBC+TTC-based ACA              — rule-based safety controller
 //   RIP+SMC w/ STI  (RIP+iPrism)   — generalization to another ADS
 //
-//   ./table3_mitigation [--n=150] [--episodes=80] [--policy-dir=.]
+//   ./table3_mitigation [--n=150] [--episodes=80] [--policy-dir=.] [--threads=0]
 //
 // Trained policies are cached under --policy-dir (delete the files to force
 // retraining); table4_activation_timing and fig5_sti_timeseries reuse them.
+// --threads=K rolls suite scenarios out on K worker threads (results are
+// byte-identical to --threads=0; see bench_util::run_suite).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
   const int n = args.get_int("n", 150);
   const int episodes = args.get_int("episodes", 80);
   const std::string policy_dir = args.get_string("policy-dir", ".");
+  const int threads = args.get_int("threads", 0);
 
   const scenario::ScenarioFactory factory;
   common::Table table("Table III — accident prevention rates across agents");
@@ -37,8 +40,8 @@ int main(int argc, char** argv) {
     const auto suite = scenario::generate_suite(factory, t, n, bench::kSuiteSeed);
     const std::string tname(scenario::typology_name(t));
     std::cout << "[" << tname << "] baseline runs...\n";
-    const auto lbc_base = bench::run_suite(factory, suite.specs, bench::lbc_maker());
-    const auto rip_base = bench::run_suite(factory, suite.specs, bench::rip_maker());
+    const auto lbc_base = bench::run_suite(factory, suite.specs, bench::lbc_maker(), {}, threads);
+    const auto rip_base = bench::run_suite(factory, suite.specs, bench::rip_maker(), {}, threads);
 
     bench::SmcPipelineOptions with_sti;
     with_sti.episodes = episodes;
@@ -74,7 +77,7 @@ int main(int argc, char** argv) {
     };
     for (const Config& config : configs) {
       const auto mitigated =
-          bench::run_suite(factory, suite.specs, config.agent, config.controller);
+          bench::run_suite(factory, suite.specs, config.agent, config.controller, threads);
       const auto s = bench::ca_summary(*config.baseline, mitigated);
       table.add_row({tname, config.label, common::Table::num(s.ca_percent, 0),
                      common::Table::num(s.tcr_percent, 1), std::to_string(s.ca),

@@ -2,9 +2,10 @@
 // intervene? iPrism's SMC acts earlier than TTC-based ACA on every
 // typology — the proactive-vs-reactive gap that explains Table III.
 //
-//   ./table4_activation_timing [--n=150] [--episodes=80] [--policy-dir=.]
+//   ./table4_activation_timing [--n=150] [--episodes=80] [--policy-dir=.] [--threads=0]
 //
-// Reuses policies cached by table3_mitigation when present.
+// Reuses policies cached by table3_mitigation when present. --threads=K
+// parallelizes the suite rollouts (byte-identical results).
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   const int n = args.get_int("n", 150);
   const int episodes = args.get_int("episodes", 80);
   const std::string policy_dir = args.get_string("policy-dir", ".");
+  const int threads = args.get_int("threads", 0);
 
   const scenario::ScenarioFactory factory;
   const scenario::Typology typologies[3] = {scenario::Typology::kGhostCutIn,
@@ -42,10 +44,10 @@ int main(int argc, char** argv) {
       lead_row.push_back("-");
       continue;
     }
-    const auto smc_run =
-        bench::run_suite(factory, suite.specs, bench::lbc_maker(), bench::smc_maker(*policy));
-    const auto aca_run =
-        bench::run_suite(factory, suite.specs, bench::lbc_maker(), bench::aca_maker());
+    const auto smc_run = bench::run_suite(factory, suite.specs, bench::lbc_maker(),
+                                          bench::smc_maker(*policy), threads);
+    const auto aca_run = bench::run_suite(factory, suite.specs, bench::lbc_maker(),
+                                          bench::aca_maker(), threads);
     const double smc_t = smc_run.mean_first_mitigation();
     const double aca_t = aca_run.mean_first_mitigation();
     smc_row.push_back(common::Table::num(smc_t, 2));

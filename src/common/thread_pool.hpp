@@ -1,0 +1,103 @@
+// Fixed-size, futures-based worker pool — the one sanctioned home for
+// threads in this codebase (tools/iprism_lint.py `thread-discipline`).
+//
+// Design constraints, in order:
+//   1. Determinism. The pool never re-orders *results*: callers submit
+//      independent jobs and aggregate by index, so a parallel run is
+//      bit-identical to a serial one (DESIGN.md §8). There is deliberately
+//      no work stealing and no task priorities — nothing whose timing could
+//      leak into outputs.
+//   2. Serial fallback. `ThreadPool(0)` spawns no workers and `submit`
+//      runs the task inline on the caller's thread; `parallel_for_each`
+//      accepts a null pool. Every parallel call site therefore degrades to
+//      the exact serial code path when `num_threads == 0` (the default).
+//   3. Exception transparency. Exceptions thrown by a task travel through
+//      the returned std::future; `parallel_for_each` waits for *all* jobs,
+//      then rethrows the first failure.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace iprism::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 = no workers; tasks run inline in submit().
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers after draining the queue (pending futures complete).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `f` and returns its future. With zero workers the task runs
+  /// immediately on the calling thread and the future is already ready.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();  // serial fallback: any exception is captured by the future
+      return future;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, count). With a null pool (or a pool with
+/// zero workers) the loop is the plain serial `for` — same call order, same
+/// results. Otherwise all indices are enqueued, the call blocks until every
+/// job finished, and the first exception (by index order of discovery) is
+/// rethrown. `fn` must write only index-owned state; index i is handled by
+/// exactly one thread.
+template <typename Fn>
+void parallel_for_each(ThreadPool* pool, std::size_t count, Fn&& fn) {
+  if (pool == nullptr || pool->thread_count() == 0) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool->submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace iprism::common

@@ -28,6 +28,9 @@ struct RiskMonitorParams {
   /// Compute the per-actor attribution only at kCaution and above (the
   /// counterfactual tubes are the expensive part).
   bool attribute_when_elevated = true;
+  /// Tube configuration; `tube.num_threads > 0` fans the monitor's N+2 tube
+  /// evaluations across a thread pool without changing any assessment
+  /// (DESIGN.md §8).
   ReachTubeParams tube;
 };
 

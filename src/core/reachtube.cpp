@@ -1,5 +1,6 @@
 #include "core/reachtube.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,10 +29,40 @@ struct CellReps {
   double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
 };
 
+/// Per-compute() scratch buffers, reused across the slice loop: clear()
+/// retains capacity, so after the first slice the hot loop performs no
+/// regrow allocations. The candidate vector is additionally reserved
+/// up-front (bounded by max_states_per_slice). The hash containers are NOT
+/// pre-reserved: reserve() changes their bucket count and hence iteration
+/// order, and `cells` iteration order feeds the surviving-representative
+/// selection — pre-reserving would silently change tube results.
+struct TubeScratch {
+  std::unordered_map<std::uint64_t, CellReps> cells;
+  std::unordered_set<std::uint64_t> dead;
+  std::unordered_set<std::uint64_t> occupied;  // volume when dedup is off
+  std::vector<dynamics::VehicleState> candidates;
+
+  explicit TubeScratch(std::size_t expected) { candidates.reserve(expected); }
+
+  void next_slice() {
+    cells.clear();
+    dead.clear();
+    occupied.clear();
+    candidates.clear();
+  }
+};
+
 }  // namespace
 
-ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
-    : params_(params), model_(params.wheelbase) {
+void ObstacleTimeline::finalize() {
+  circumradius_by_slice.clear();
+  circumradius_by_slice.reserve(by_slice.size());
+  for (const geom::OrientedBox& box : by_slice) {
+    circumradius_by_slice.push_back(box.circumradius());
+  }
+}
+
+void ReachTubeComputer::validate(const ReachTubeParams& params) {
   IPRISM_CHECK(params.dt > 0.0 && params.horizon > 0.0,
                "ReachTubeParams: dt and horizon must be positive");
   IPRISM_CHECK(params.cell_size > 0.0, "ReachTubeParams: cell_size must be positive");
@@ -42,8 +73,16 @@ ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
   IPRISM_CHECK(params.limits.accel_min < params.limits.accel_max &&
                    params.limits.steer_min < params.limits.steer_max,
                "ReachTubeParams: control limits must span a non-empty range");
+  IPRISM_CHECK(params.num_threads >= 0,
+               "ReachTubeParams: num_threads must be non-negative (0 = serial)");
+  IPRISM_CHECK(static_cast<int>(std::lround(params.horizon / params.dt)) >= 1,
+               "ReachTubeParams: horizon must cover at least one slice");
+}
+
+ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
+    : params_(params), model_(params.wheelbase) {
+  validate(params);
   slices_ = static_cast<int>(std::lround(params.horizon / params.dt));
-  IPRISM_CHECK(slices_ >= 1, "ReachTubeParams: horizon must cover at least one slice");
 
   const auto& lim = params_.limits;
   std::vector<double> accels;
@@ -70,6 +109,7 @@ std::vector<ObstacleTimeline> ReachTubeComputer::sample_obstacles(
     for (int j = 0; j <= slices_; ++j) {
       tl.by_slice.push_back(f.trajectory.footprint_at(t0 + j * params_.dt, f.dims));
     }
+    tl.finalize();
     out.push_back(std::move(tl));
   }
   return out;
@@ -87,8 +127,8 @@ bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
     IPRISM_DCHECK(slice < obs.by_slice.size(),
                   "ReachTube: slice index out of obstacle timeline bounds");
     const geom::OrientedBox& box = obs.by_slice[slice];
-    // Broad phase before the exact SAT test.
-    const double r = ego_r + box.circumradius();
+    // Broad phase before the exact SAT test (radius precomputed per timeline).
+    const double r = ego_r + obs.circumradius_by_slice[slice];
     if ((box.center() - ego_box.center()).norm_sq() > r * r) continue;
     if (ego_box.intersects(box)) return false;
   }
@@ -102,6 +142,9 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   for (const ObstacleTimeline& obs : obstacles) {
     IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
                  "ReachTube: obstacle timeline sliced with different parameters");
+    IPRISM_CHECK(obs.circumradius_by_slice.size() == obs.by_slice.size(),
+                 "ReachTube: obstacle timeline missing precomputed circumradii "
+                 "(build via sample_obstacles or call ObstacleTimeline::finalize)");
   }
 
   ReachTube tube;
@@ -115,22 +158,21 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   std::size_t volume_cells = 1;  // the seed's own cell
   common::Rng rng(params_.sample_seed);
 
-  // Per-slice working set. With dedup on, each (x, y) epsilon cell keeps up
-  // to four representative states (speed/heading extremes); dead cells
-  // (first sample collided or left the map) are cached so the whole cell is
-  // skipped — optimization (1) at cell granularity.
-  std::unordered_map<std::uint64_t, CellReps> cells;
-  std::unordered_set<std::uint64_t> dead;
-  std::unordered_set<std::uint64_t> occupied;  // volume when dedup is off
-  std::vector<dynamics::VehicleState> candidates;
+  // Per-slice working set, allocated once per compute() call. With dedup
+  // on, each (x, y) epsilon cell keeps up to four representative states
+  // (speed/heading extremes); dead cells (first sample collided or left the
+  // map) are cached so the whole cell is skipped — optimization (1) at cell
+  // granularity.
+  TubeScratch scratch(std::min<std::size_t>(params_.max_states_per_slice, 4096));
+  auto& cells = scratch.cells;
+  auto& dead = scratch.dead;
+  auto& occupied = scratch.occupied;
+  auto& candidates = scratch.candidates;
 
   for (int j = 0; j < slices_; ++j) {
     const auto& current = tube.slices[static_cast<std::size_t>(j)];
     auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
-    cells.clear();
-    dead.clear();
-    occupied.clear();
-    candidates.clear();
+    scratch.next_slice();
 
     const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
     auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
@@ -203,6 +245,11 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
     if (params_.dedup) {
       volume_cells += cells.size();
       // Collect the surviving representatives (deduplicating shared slots).
+      // NOTE: `kept` is deliberately rebuilt per slice rather than hoisted
+      // into TubeScratch — its iteration order sets the order of `next`, and
+      // a cleared-but-bucket-retaining set iterates differently from a fresh
+      // one, which perturbs tube sampling downstream. The hoisted buffers
+      // above are safe: their iteration never reaches the output.
       std::unordered_set<int> kept;
       for (const auto& [key, reps] : cells) {
         for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) kept.insert(idx);

@@ -51,6 +51,13 @@ struct ReachTubeParams {
   double map_margin = 0.3;   ///< footprint shrink for the drivable-area test (m)
   double wheelbase = 2.7;
   std::uint64_t sample_seed = 42;  ///< RNG stream for uniform sampling
+  /// Worker threads for the N+2 tube fan-out in StiCalculator (each of |T|,
+  /// |T^{∅}|, and the per-actor counterfactuals is an independent tube).
+  /// 0 = serial (default). A single tube is always computed on one thread —
+  /// its slices are sequentially dependent — so this knob never changes any
+  /// result, only wall-clock (DESIGN.md §8). RiskMonitorParams::tube and
+  /// SmcTrainConfig::tube plumb it into the monitor and SMC training.
+  int num_threads = 0;
 };
 
 /// An actor's footprint at each tube time slice (pre-sampled from its
@@ -58,6 +65,15 @@ struct ReachTubeParams {
 struct ObstacleTimeline {
   int actor_id = -1;
   std::vector<geom::OrientedBox> by_slice;
+  /// circumradius() of each by_slice box, precomputed once per timeline.
+  /// The broad-phase test in the tube's innermost loop runs per candidate
+  /// state × slice × obstacle; the radius only depends on (obstacle, slice).
+  /// Kept in sync by sample_obstacles(); hand-built timelines must call
+  /// finalize() before compute().
+  std::vector<double> circumradius_by_slice;
+
+  /// Fills circumradius_by_slice from by_slice.
+  void finalize();
 };
 
 /// The computed tube: surviving states per slice plus the occupancy volume.
@@ -73,6 +89,12 @@ struct ReachTube {
 class ReachTubeComputer {
  public:
   explicit ReachTubeComputer(const ReachTubeParams& params = {});
+
+  /// Validates `params`, throwing via IPRISM_CHECK on the first violated
+  /// invariant. Construction-free fail-fast entry point for configs that
+  /// embed tube params (e.g. SmcTrainConfig); the constructor runs the same
+  /// checks.
+  static void validate(const ReachTubeParams& params);
 
   const ReachTubeParams& params() const { return params_; }
   int slice_count() const { return slices_; }

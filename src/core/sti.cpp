@@ -13,11 +13,14 @@ double StiResult::max_actor_sti() const {
   return best;
 }
 
-StiCalculator::StiCalculator(const ReachTubeParams& params) : tube_(params) {}
+StiCalculator::StiCalculator(const ReachTubeParams& params) : tube_(params) {
+  if (params.num_threads > 0) {
+    pool_ = std::make_shared<common::ThreadPool>(
+        static_cast<std::size_t>(params.num_threads));
+  }
+}
 
 namespace {
-
-constexpr int kExcludeAll = -2;  // sentinel: no actor id is ever -2
 
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
@@ -29,11 +32,20 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
 
   StiResult out;
-  out.volume_all = tube_.compute(map, ego, obstacles).volume;
-
-  // |T^{∅}|: tube against an empty obstacle set.
-  out.volume_empty =
-      tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  // Wave 1: |T| and |T^{∅}| together — the degenerate-denominator guard
+  // below needs both before any counterfactual is worth computing. Each tube
+  // is computed whole on one thread; volumes land in index-owned slots.
+  {
+    double base[2] = {0.0, 0.0};
+    common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
+      base[j] = j == 0
+                    ? tube_.compute(map, ego, obstacles).volume
+                    : tube_.compute(map, ego, std::span<const ObstacleTimeline>{})
+                          .volume;
+    });
+    out.volume_all = base[0];
+    out.volume_empty = base[1];
+  }
   IPRISM_DCHECK(out.volume_all >= 0.0 && out.volume_empty >= 0.0,
                 "STI: tube volumes must be non-negative");
 
@@ -47,14 +59,23 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
 
   out.combined = clamp01((out.volume_empty - out.volume_all) / out.volume_empty);
 
+  // Wave 2: the N counterfactual tubes T^{/i} (Eq. 4), fanned across the
+  // pool. Aggregation is by forecast index, so per_actor keeps input order
+  // and the result is bit-identical to the serial loop.
+  std::vector<double> vol_without(forecasts.size(), 0.0);
+  common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
+    vol_without[i] = tube_.compute(map, ego, obstacles, forecasts[i].id).volume;
+  });
+
   out.per_actor.reserve(forecasts.size());
-  for (const ActorForecast& f : forecasts) {
-    const double vol_without = tube_.compute(map, ego, obstacles, f.id).volume;
+  for (std::size_t i = 0; i < forecasts.size(); ++i) {
     // clamp01 precondition: the raw ratio must at least be a number — a NaN
     // here (0/0 escaping the volume_empty guard above) would clamp silently.
-    IPRISM_DCHECK(std::isfinite(vol_without), "STI: counterfactual volume must be finite");
+    IPRISM_DCHECK(std::isfinite(vol_without[i]),
+                  "STI: counterfactual volume must be finite");
     out.per_actor.emplace_back(
-        f.id, clamp01((vol_without - out.volume_all) / out.volume_empty));
+        forecasts[i].id,
+        clamp01((vol_without[i] - out.volume_all) / out.volume_empty));
   }
   return out;
 }
@@ -63,13 +84,17 @@ double StiCalculator::combined(const roadmap::DrivableMap& map,
                                const dynamics::VehicleState& ego, double t0,
                                std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
-  const double vol_all = tube_.compute(map, ego, obstacles).volume;
-  const double vol_empty =
-      tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  double base[2] = {0.0, 0.0};
+  common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
+    base[j] =
+        j == 0 ? tube_.compute(map, ego, obstacles).volume
+               : tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  });
+  const double vol_all = base[0];
+  const double vol_empty = base[1];
   IPRISM_DCHECK(vol_all >= 0.0 && vol_empty >= 0.0,
                 "STI: tube volumes must be non-negative");
   if (vol_empty <= 0.0) return 0.0;
-  (void)kExcludeAll;
   return clamp01((vol_empty - vol_all) / vol_empty);
 }
 

@@ -12,9 +12,11 @@
 // eliminates all of them.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/reachtube.hpp"
 #include "core/scene.hpp"
 
@@ -33,6 +35,11 @@ struct StiResult {
   double max_actor_sti() const;
 };
 
+// The N+2 tubes an evaluation needs — |T|, |T^{∅}|, and one counterfactual
+// per actor — are independent: ReachTubeComputer::compute is const and each
+// call owns its seeded RNG. With `ReachTubeParams::num_threads > 0` the
+// calculator fans them out over a common::ThreadPool and aggregates by
+// index, so parallel results are bit-identical to serial ones (DESIGN.md §8).
 class StiCalculator {
  public:
   explicit StiCalculator(const ReachTubeParams& params = {});
@@ -51,6 +58,9 @@ class StiCalculator {
 
  private:
   ReachTubeComputer tube_;
+  /// Null when params.num_threads == 0 (serial). Shared so copies of the
+  /// calculator reuse one pool; submit() is thread-safe.
+  std::shared_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace iprism::core

@@ -38,7 +38,7 @@ SmcTrainer::SmcTrainer(const SmcTrainConfig& config) : config_(config) {
                    config.action_count == kActionCountFull,
                "SmcTrainConfig: unsupported action count");
   // Fail fast: surface tube misconfiguration at construction, not mid-episode.
-  (void)core::ReachTubeComputer{config.tube};
+  core::ReachTubeComputer::validate(config.tube);
 }
 
 rl::Mlp SmcTrainer::train(const std::function<sim::World(int)>& world_factory,

@@ -26,6 +26,9 @@ struct SmcTrainConfig {
   SmcControlParams control;
   RewardParams reward;
   rl::DdqnConfig ddqn;
+  /// Tube configuration for the reward's STI term; `tube.num_threads > 0`
+  /// parallelizes each STI evaluation inside training episodes (results,
+  /// and therefore the learned policy, are unchanged — DESIGN.md §8).
   core::ReachTubeParams tube;
   std::vector<int> hidden{48, 48};
   std::uint64_t seed = 1234;

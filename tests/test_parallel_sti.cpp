@@ -1,0 +1,138 @@
+// Determinism suite for the parallel STI engine: with any number of worker
+// threads, StiCalculator must produce *bit-identical* results to the serial
+// path. This holds by construction — every ReachTubeComputer::compute call
+// owns its seeded RNG and results aggregate by index (DESIGN.md §8) — and
+// this suite is the executable form of that argument, run across all five
+// scenario typologies. It is also part of the CI tsan job, where the same
+// runs double as a data-race check on the fan-out.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/monitor.hpp"
+#include "core/sti.hpp"
+#include "dynamics/cvtr.hpp"
+#include "scenario/factory.hpp"
+#include "sim/world.hpp"
+
+namespace iprism {
+namespace {
+
+constexpr int kThreadCounts[] = {2, 4, 8};
+
+/// Builds a mid-episode world for a typology (stepped so the threat is live).
+sim::World typology_world(const scenario::ScenarioFactory& factory,
+                          scenario::Typology typology) {
+  common::Rng rng(7);
+  const auto spec = factory.sample(typology, 0, rng);
+  sim::World world = factory.build(spec);
+  for (int i = 0; i < 20; ++i) world.step(dynamics::Control{0.0, 0.0});
+  return world;
+}
+
+void expect_bit_identical(const core::StiResult& serial, const core::StiResult& parallel,
+                          int threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(threads));
+  // Exact == on purpose: the guarantee is bit-identity, not closeness.
+  EXPECT_EQ(serial.combined, parallel.combined);
+  EXPECT_EQ(serial.volume_all, parallel.volume_all);
+  EXPECT_EQ(serial.volume_empty, parallel.volume_empty);
+  ASSERT_EQ(serial.per_actor.size(), parallel.per_actor.size());
+  for (std::size_t i = 0; i < serial.per_actor.size(); ++i) {
+    EXPECT_EQ(serial.per_actor[i].first, parallel.per_actor[i].first);
+    EXPECT_EQ(serial.per_actor[i].second, parallel.per_actor[i].second);
+  }
+}
+
+TEST(ParallelSti, BitIdenticalToSerialAcrossAllTypologies) {
+  const scenario::ScenarioFactory factory;
+  for (scenario::Typology typology : scenario::kAllTypologies) {
+    SCOPED_TRACE(std::string(scenario::typology_name(typology)));
+    const sim::World world = typology_world(factory, typology);
+    const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+    const core::StiCalculator serial;
+    const core::StiResult reference =
+        serial.compute(world.map(), world.ego().state, world.time(), forecasts);
+
+    for (int threads : kThreadCounts) {
+      core::ReachTubeParams params;
+      params.num_threads = threads;
+      const core::StiCalculator parallel(params);
+      expect_bit_identical(
+          reference,
+          parallel.compute(world.map(), world.ego().state, world.time(), forecasts),
+          threads);
+    }
+  }
+}
+
+TEST(ParallelSti, CombinedOnlyBitIdenticalToSerial) {
+  const scenario::ScenarioFactory factory;
+  for (scenario::Typology typology : scenario::kAllTypologies) {
+    SCOPED_TRACE(std::string(scenario::typology_name(typology)));
+    const sim::World world = typology_world(factory, typology);
+    const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+    const core::StiCalculator serial;
+    const double reference =
+        serial.combined(world.map(), world.ego().state, world.time(), forecasts);
+    for (int threads : kThreadCounts) {
+      core::ReachTubeParams params;
+      params.num_threads = threads;
+      const core::StiCalculator parallel(params);
+      EXPECT_EQ(reference, parallel.combined(world.map(), world.ego().state,
+                                             world.time(), forecasts))
+          << "num_threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelSti, RepeatedParallelEvaluationsAreStable) {
+  // Thread scheduling varies between runs; results must not.
+  const scenario::ScenarioFactory factory;
+  const sim::World world = typology_world(factory, scenario::Typology::kGhostCutIn);
+  const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+  core::ReachTubeParams params;
+  params.num_threads = 4;
+  const core::StiCalculator sti(params);
+  const core::StiResult first =
+      sti.compute(world.map(), world.ego().state, world.time(), forecasts);
+  for (int run = 0; run < 5; ++run) {
+    expect_bit_identical(
+        first, sti.compute(world.map(), world.ego().state, world.time(), forecasts),
+        params.num_threads);
+  }
+}
+
+TEST(ParallelSti, MonitorAssessmentsUnchangedByThreads) {
+  // End-to-end plumbing check: RiskMonitorParams::tube.num_threads must not
+  // change any assessment the streaming monitor produces.
+  const scenario::ScenarioFactory factory;
+  core::RiskMonitorParams serial_params;
+  core::RiskMonitorParams parallel_params;
+  parallel_params.tube.num_threads = 4;
+  core::RiskMonitor serial(serial_params);
+  core::RiskMonitor parallel(parallel_params);
+
+  sim::World world = typology_world(factory, scenario::Typology::kLeadSlowdown);
+  for (int step = 0; step < 30; ++step) {
+    world.step(dynamics::Control{0.0, 0.0});
+    const auto a = serial.update(world);
+    const auto b = parallel.update(world);
+    EXPECT_EQ(a.sti_combined, b.sti_combined) << "step " << step;
+    EXPECT_EQ(a.level, b.level) << "step " << step;
+    EXPECT_EQ(a.riskiest_actor, b.riskiest_actor) << "step " << step;
+    EXPECT_EQ(a.riskiest_sti, b.riskiest_sti) << "step " << step;
+  }
+}
+
+TEST(ParallelSti, NumThreadsValidation) {
+  core::ReachTubeParams params;
+  params.num_threads = -1;
+  EXPECT_THROW(core::ReachTubeComputer::validate(params), std::invalid_argument);
+  EXPECT_THROW(core::StiCalculator{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprism

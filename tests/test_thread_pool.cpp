@@ -1,0 +1,118 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace iprism::common {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  const auto caller = std::this_thread::get_id();
+  auto future = pool.submit([caller] { return std::this_thread::get_id() == caller; });
+  // With no workers the task has already run by the time submit returns.
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_TRUE(future.get());
+}
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmitRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter.load(), 50 * 8);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesInline) {
+  ThreadPool pool(0);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    // Futures intentionally dropped; the destructor must still run them all.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelForEach, NullPoolIsTheSerialLoop) {
+  std::vector<int> order;
+  parallel_for_each(nullptr, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: serial path, caller thread
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForEach, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_each(&pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForEach, IndexOwnedSlotsAggregateInOrder) {
+  ThreadPool pool(3);
+  std::vector<double> results(64, 0.0);
+  parallel_for_each(&pool, results.size(), [&](std::size_t i) {
+    results[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ParallelForEach, RethrowsTaskFailureAfterAllJobsFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for_each(&pool, 16,
+                                 [&](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("job 7 failed");
+                                   ++completed;
+                                 }),
+               std::runtime_error);
+  // The failure of one index must not cancel the others.
+  EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ParallelForEach, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_each(&pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace iprism::common

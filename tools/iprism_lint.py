@@ -17,6 +17,13 @@ this lint enforces the ones that keep the risk monitor trustworthy:
                     Every stochastic component must take an explicit
                     ``common::Rng`` so experiments replay bit-for-bit.
 
+  thread-discipline No raw ``std::thread`` / ``std::jthread`` / ``std::async``
+                    outside src/common/thread_pool.*. Concurrency goes through
+                    ``common::ThreadPool`` so the serial fallback, exception
+                    propagation, and shutdown-join stay centralized — and so
+                    every parallel call site inherits the determinism
+                    contract (index-owned results, DESIGN.md §8).
+
   float-eq          No ``==`` / ``!=`` against floating-point literals.
                     Use ``common::near()`` (src/common/float_eq.hpp) or —
                     when exact comparison is genuinely meant, e.g. against a
@@ -37,7 +44,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("params-validated", "rng-discipline", "float-eq", "header-hygiene")
+RULES = ("params-validated", "rng-discipline", "thread-discipline", "float-eq",
+         "header-hygiene")
 
 SUPPRESS_RE = re.compile(r"//\s*iprism-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 
@@ -48,6 +56,8 @@ STRUCT_RE = re.compile(r"^struct\s+(\w+(?:Params|Config))\b", re.MULTILINE)
 
 BANNED_RNG_RE = re.compile(
     r"std::rand\b|\bsrand\s*\(|std::mt19937|std::random_device|\brand\s*\(\)")
+
+BANNED_THREAD_RE = re.compile(r"std::j?thread\b|std::async\b")
 
 # `== 0.25` or `0.25 ==` (also !=), excluding <=, >=, and exponents handled
 # by stripping. Applied to code with comments/strings removed.
@@ -157,6 +167,28 @@ def check_rng_discipline(src, sources):
     return findings
 
 
+def check_thread_discipline(src, sources):
+    findings = []
+    for path, text in sources:
+        if path.parent.name == "common" and path.stem == "thread_pool":
+            continue
+        code = strip_noncode(text)
+        lines = text.splitlines()
+        sup, _ = suppressions(lines)
+        for i, line in enumerate(code.splitlines(), start=1):
+            m = BANNED_THREAD_RE.search(line)
+            if not m:
+                continue
+            if (i, "thread-discipline") in sup:
+                continue
+            findings.append(Finding(
+                "thread-discipline", path.relative_to(src.parent), i,
+                f"'{m.group(0)}' outside src/common/thread_pool.* — use "
+                f"common::ThreadPool / parallel_for_each so parallelism keeps "
+                f"the serial fallback and determinism contract"))
+    return findings
+
+
 def check_float_eq(src, sources):
     findings = []
     for path, text in sources:
@@ -223,6 +255,7 @@ def main():
     findings = []
     findings += check_params_validated(src, sources)
     findings += check_rng_discipline(src, sources)
+    findings += check_thread_discipline(src, sources)
     findings += check_float_eq(src, sources)
     findings += check_header_hygiene(src, sources)
     findings += check_suppression_quality(src, sources)

@@ -15,6 +15,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 120);
   const int episodes = args.get_int("episodes", 80);

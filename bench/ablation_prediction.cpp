@@ -47,6 +47,7 @@ std::vector<core::ActorForecast> predicted_forecasts(const eval::EpisodeResult& 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 40);
 

@@ -29,6 +29,7 @@ struct Scene {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 40);
 

@@ -1,7 +1,11 @@
 #include "bench_util.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
@@ -10,7 +14,67 @@
 #include "eval/series.hpp"
 #include "smc/controller.hpp"
 
+// Sanitizer instrumentation detection: gcc defines __SANITIZE_*__, clang
+// exposes __has_feature. Checked in addition to NDEBUG because the
+// asan/tsan presets build RelWithDebInfo — NDEBUG alone calls those
+// "release".
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define IPRISM_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define IPRISM_BENCH_SANITIZED 1
+#endif
+#endif
+
 namespace iprism::bench {
+
+const char* nonrelease_build_reason() {
+#if !defined(NDEBUG)
+  return "built without NDEBUG (assertions on, optimization uncertain)";
+#elif defined(IPRISM_BENCH_SANITIZED)
+  return "sanitizer instrumentation (asan/ubsan/tsan preset)";
+#elif defined(IPRISM_ENABLE_DCHECKS)
+  return "hot-path debug checks enabled (IPRISM_ENABLE_DCHECKS)";
+#else
+  return "";
+#endif
+}
+
+bool release_benchmark_build() { return nonrelease_build_reason()[0] == '\0'; }
+
+void require_release_guard(int argc, const char* const* argv) {
+  bool require = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--require-release") require = true;
+  }
+  if (release_benchmark_build()) return;
+  std::cerr
+      << "\n"
+      << "=====================================================================\n"
+      << "  WARNING: this is not a release benchmark build:\n"
+      << "    " << nonrelease_build_reason() << "\n"
+      << "  Its timings do not reflect the library's performance and MUST\n"
+      << "  NOT be recorded as a baseline. Re-build with the release preset:\n"
+      << "    cmake --preset release && cmake --build --preset release\n"
+      << "=====================================================================\n"
+      << std::endl;
+  if (require) {
+    std::cerr << "--require-release: refusing to run a non-release benchmark build."
+              << std::endl;
+    std::exit(3);
+  }
+}
+
+int strip_require_release_flag(int argc, char** argv) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string_view(argv[i]) == "--require-release") continue;
+    argv[out++] = argv[i];
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
 
 AgentMaker lbc_maker() {
   return [] { return std::make_unique<agents::LbcAgent>(); };

@@ -36,6 +36,31 @@ ControllerMaker smc_maker(const rl::Mlp& policy);
 /// Shared default evaluation seed so every bench sees the same suites.
 inline constexpr std::uint64_t kSuiteSeed = 20240624;
 
+/// True when this binary is a trustworthy timing build: NDEBUG set, no
+/// sanitizer instrumentation, no IPRISM_ENABLE_DCHECKS. The sanitizer
+/// checks matter because the asan/tsan presets use RelWithDebInfo — NDEBUG
+/// *is* defined there, which is exactly how the original debug-tainted
+/// baseline slipped through an NDEBUG-only guard.
+bool release_benchmark_build();
+
+/// Human-readable reason release_benchmark_build() is false ("" when true).
+const char* nonrelease_build_reason();
+
+/// Guards committed benchmark numbers against non-release builds: when
+/// release_benchmark_build() is false, prints a loud stderr warning — and
+/// with `--require-release` on the command line (as CI passes when
+/// recording BENCH_*.json) exits non-zero instead, so a tainted baseline
+/// can never be recorded silently again. Call first thing in every bench
+/// main(); the flag is consumed here and must not be forwarded to
+/// flag-strict parsers (strip_require_release_flag below removes it in
+/// place).
+void require_release_guard(int argc, const char* const* argv);
+
+/// Removes `--require-release` from argv in place and returns the new argc
+/// (google-benchmark binaries reject unknown flags; CliArgs-based benches
+/// tolerate it, so only overheads needs this).
+int strip_require_release_flag(int argc, char** argv);
+
 /// Aggregate outcome of a (suite x agent [x controller]) evaluation.
 struct SuiteOutcome {
   int scenarios = 0;

@@ -19,6 +19,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 40);
   const int stride = args.get_int("stride", 3);

@@ -18,6 +18,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   dataset::DatasetParams params;
   params.log_count = args.get_int("logs", 60);

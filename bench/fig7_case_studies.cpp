@@ -16,6 +16,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   (void)args;
 

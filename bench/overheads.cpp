@@ -4,8 +4,21 @@
 // operations the paper timed in Python (STI evaluation 0.61 s; SMC
 // inference 0.012 s there).
 //
-//   ./overheads [google-benchmark flags]
+//   ./overheads [google-benchmark flags] [--require-release]
+//
+// The BM_TubeHotpath family measures the reach-tube hot-loop rewrite
+// (common::FlatHashGrid scratch, per-slice obstacle active-set) against a
+// bench-local replica of the pre-rewrite std::unordered_map loop, and the
+// flat loop with pre-reservation off vs on. Recorded as
+// BENCH_tube_hotpath.json from the release preset:
+//   ./overheads --require-release \
+//     '--benchmark_filter=BM_TubeHotpath|BM_StiFullPerActor$' \
+//     --benchmark_out=BENCH_tube_hotpath.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "bench_util.hpp"
 #include "core/pkl.hpp"
@@ -54,6 +67,184 @@ void BM_SimStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimStep);
+
+// ---------------------------------------------------------------------------
+// BM_TubeHotpath: before/after baseline for the flat-hash hot-loop rewrite.
+//
+// `baseline_tube` replicates the pre-rewrite ReachTubeComputer::compute hot
+// loop: std::unordered_map/unordered_set scratch that cannot be pre-reserved
+// (bucket order fed the surviving-representative selection), two divides per
+// propagated state in the cell key, a per-slice `kept` unordered_set, a full
+// per-slice candidate copy, and every obstacle broad-phase-tested per state.
+// It lives here, not in src/core: the container-discipline lint bans the
+// unordered containers there precisely because of what this baseline shows.
+
+std::uint64_t baseline_xy_key(double x, double y, double cell) {
+  const auto ix = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::floor(x / cell)) + (1LL << 30));
+  const auto iy = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(std::floor(y / cell)) + (1LL << 30));
+  return (ix << 32) | (iy & 0xFFFFFFFFULL);
+}
+
+struct BaselineCellReps {
+  int min_v = -1, max_v = -1, min_h = -1, max_h = -1;
+  double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
+};
+
+bool baseline_state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleState& s,
+                       std::span<const core::ObstacleTimeline> obstacles,
+                       std::size_t slice, int exclude_id,
+                       const core::ReachTubeParams& p) {
+  const geom::OrientedBox ego_box = dynamics::footprint(s, p.ego_dims);
+  if (!map.contains_box(ego_box, p.map_margin)) return false;
+  const double ego_r = ego_box.circumradius();
+  for (const core::ObstacleTimeline& obs : obstacles) {
+    if (obs.actor_id == exclude_id) continue;
+    const geom::OrientedBox& box = obs.by_slice[slice];
+    const double r = ego_r + obs.circumradius_by_slice[slice];
+    if ((box.center() - ego_box.center()).norm_sq() > r * r) continue;
+    if (ego_box.intersects(box)) return false;
+  }
+  return true;
+}
+
+core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
+                              const dynamics::VehicleState& ego,
+                              std::span<const core::ObstacleTimeline> obstacles,
+                              int exclude_id, const core::ReachTubeParams& p) {
+  const dynamics::BicycleModel model(p.wheelbase);
+  const int slices = static_cast<int>(std::lround(p.horizon / p.dt));
+  std::vector<dynamics::Control> boundary_set;
+  for (double a : {0.0, p.limits.accel_max}) {
+    for (double phi : {p.limits.steer_min, 0.0, p.limits.steer_max}) {
+      boundary_set.push_back({a, phi});
+    }
+  }
+
+  core::ReachTube tube;
+  tube.slices.assign(static_cast<std::size_t>(slices) + 1, {});
+  if (!baseline_state_ok(map, ego, obstacles, 0, exclude_id, p)) return tube;
+  tube.slices[0].push_back(ego);
+
+  std::size_t volume_cells = 1;
+  std::unordered_map<std::uint64_t, BaselineCellReps> cells;
+  std::unordered_set<std::uint64_t> dead;
+  std::vector<dynamics::VehicleState> candidates;
+  candidates.reserve(std::min<std::size_t>(p.max_states_per_slice, 4096));
+
+  for (int j = 0; j < slices; ++j) {
+    const auto& current = tube.slices[static_cast<std::size_t>(j)];
+    auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
+    cells.clear();
+    dead.clear();
+    candidates.clear();
+
+    const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
+    auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
+      if (candidates.size() >= p.max_states_per_slice) return;
+      const dynamics::VehicleState ns = model.step(s, u, p.dt);
+      const std::uint64_t key = baseline_xy_key(ns.x, ns.y, p.cell_size);
+      if (dead.contains(key)) return;
+      auto it = cells.find(key);
+      if (it == cells.end()) {
+        if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude_id, p)) {
+          dead.insert(key);
+          return;
+        }
+        const int idx = static_cast<int>(candidates.size());
+        candidates.push_back(ns);
+        BaselineCellReps reps;
+        reps.min_v = reps.max_v = reps.min_h = reps.max_h = idx;
+        reps.v_lo = reps.v_hi = ns.speed;
+        reps.h_lo = reps.h_hi = ns.heading;
+        cells.emplace(key, reps);
+        return;
+      }
+      BaselineCellReps& reps = it->second;
+      const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
+                            ns.heading < reps.h_lo || ns.heading > reps.h_hi;
+      if (!improves) return;
+      if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude_id, p)) return;
+      const int idx = static_cast<int>(candidates.size());
+      candidates.push_back(ns);
+      if (ns.speed < reps.v_lo) { reps.v_lo = ns.speed; reps.min_v = idx; }
+      if (ns.speed > reps.v_hi) { reps.v_hi = ns.speed; reps.max_v = idx; }
+      if (ns.heading < reps.h_lo) { reps.h_lo = ns.heading; reps.min_h = idx; }
+      if (ns.heading > reps.h_hi) { reps.h_hi = ns.heading; reps.max_h = idx; }
+    };
+
+    for (const dynamics::VehicleState& s : current) {
+      for (const dynamics::Control& u : boundary_set) try_control(s, u);
+    }
+
+    volume_cells += cells.size();
+    std::unordered_set<int> kept;
+    for (const auto& [key, reps] : cells) {
+      for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) kept.insert(idx);
+    }
+    next.reserve(kept.size());
+    for (int idx : kept) next.push_back(candidates[static_cast<std::size_t>(idx)]);
+    if (next.empty()) break;
+  }
+  tube.volume = static_cast<double>(volume_cells);
+  return tube;
+}
+
+void BM_TubeHotpathBaseline(benchmark::State& state) {
+  // One tube through the pre-rewrite unordered_map hot loop.
+  auto& f = fixture();
+  const core::ReachTubeParams params;
+  const core::ReachTubeComputer rt(params);
+  const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
+  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  for (auto _ : state) {
+    const auto tube = baseline_tube(f.world.map(), f.world.ego().state, obstacles,
+                                    /*exclude_id=*/-1, params);
+    benchmark::DoNotOptimize(tube.volume);
+  }
+}
+BENCHMARK(BM_TubeHotpathBaseline);
+
+void BM_TubeHotpathFlat(benchmark::State& state) {
+  // One tube through the FlatHashGrid hot loop; arg = scratch_reserve
+  // (0 = auto-reserve — the default; the old loop could not reserve at all).
+  auto& f = fixture();
+  core::ReachTubeParams params;
+  params.scratch_reserve = static_cast<std::size_t>(state.range(0));
+  const core::ReachTubeComputer rt(params);
+  const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
+  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  for (auto _ : state) {
+    const auto tube =
+        rt.compute(f.world.map(), f.world.ego().state, obstacles, /*exclude_id=*/-1);
+    benchmark::DoNotOptimize(tube.volume);
+  }
+}
+BENCHMARK(BM_TubeHotpathFlat)->Arg(0)->Arg(4096);
+
+void BM_TubeHotpathStiBaseline(benchmark::State& state) {
+  // The full-STI workload (N+2 tubes: |T|, |T^null|, per-actor
+  // counterfactuals) through the baseline loop — the apples-to-apples
+  // counterpart of BM_StiFullPerActor on the new hot loop.
+  auto& f = fixture();
+  const core::ReachTubeParams params;
+  const core::ReachTubeComputer rt(params);
+  const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
+  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  for (auto _ : state) {
+    double acc = 0.0;
+    acc += baseline_tube(f.world.map(), f.world.ego().state, obstacles, -1, params).volume;
+    acc += baseline_tube(f.world.map(), f.world.ego().state, {}, -1, params).volume;
+    for (const auto& obs : obstacles) {
+      acc += baseline_tube(f.world.map(), f.world.ego().state, obstacles, obs.actor_id,
+                           params)
+                 .volume;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TubeHotpathStiBaseline);
 
 void BM_ReachTube(benchmark::State& state) {
   auto& f = fixture();
@@ -165,4 +356,19 @@ BENCHMARK(BM_TtcMetric);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  iprism::bench::require_release_guard(argc, argv);
+  argc = iprism::bench::strip_require_release_flag(argc, argv);
+  // google-benchmark's own "library_build_type" context describes the
+  // installed libbenchmark, not this code; record ours explicitly so a
+  // committed BENCH_*.json is self-describing.
+  benchmark::AddCustomContext("iprism_build_type",
+                              bench::release_benchmark_build()
+                                  ? "release"
+                                  : bench::nonrelease_build_reason());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

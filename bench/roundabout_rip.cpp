@@ -14,6 +14,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 150);
   const int episodes = args.get_int("episodes", 80);

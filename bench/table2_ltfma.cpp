@@ -17,6 +17,7 @@
 using namespace iprism;
 
 int main(int argc, char** argv) {
+  bench::require_release_guard(argc, argv);
   const common::CliArgs args(argc, argv);
   const int n = args.get_int("n", 120);
   const int pkl_n = args.get_int("pkl-n", 12);

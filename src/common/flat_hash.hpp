@@ -1,0 +1,153 @@
+// Deterministic open-addressing hash containers for the hot paths.
+//
+// `FlatHashGrid<Value>` maps 64-bit cell keys to values with two properties
+// the standard unordered containers cannot give together:
+//
+//   * iteration order == insertion order, by construction: entries live in a
+//     dense vector and the slot table only stores indices into it. Rehashing
+//     (or reserving, or clearing-and-refilling) never changes what iteration
+//     observes, so callers may pre-reserve freely without perturbing any
+//     result that consumes the iteration order (the reach-tube's
+//     surviving-representative selection does — DESIGN.md §9);
+//   * clear() retains capacity and leaves no tombstones: the slot table is
+//     reset wholesale, so a scratch grid reused across loop iterations
+//     performs zero steady-state allocations and never degrades from
+//     deletion debris (erase is deliberately not provided).
+//
+// Open addressing with linear probing over a power-of-two slot table; keys
+// are finalized through the SplitMix64 mixer so clustered grid keys spread.
+// Values must be default-constructible. `FlatKeySet` is the set view
+// (`FlatHashGrid<Unit>`), storing 8 bytes per entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace iprism::common {
+
+/// SplitMix64 finalizer: a full-avalanche bijective mix of a 64-bit value.
+/// The grid's slot hash, and the sanctioned way to derive a deterministic,
+/// platform-independent scrambled order from small integers (sort by
+/// splitmix64_mix(i)) where hash-table iteration order used to be relied on
+/// for decorrelation.
+inline std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Empty mapped type turning FlatHashGrid into a set of keys.
+struct Unit {};
+
+template <class Value>
+class FlatHashGrid {
+ public:
+  struct Entry {
+    std::uint64_t key;
+    [[no_unique_address]] Value value;
+  };
+
+  FlatHashGrid() = default;
+  explicit FlatHashGrid(std::size_t expected) { reserve(expected); }
+
+  /// Prepares for `expected` entries without rehashing on the way there.
+  /// Never shrinks. Safe at any time: a rehash reorders only the slot
+  /// table, never the dense entries, so iteration order is unaffected.
+  void reserve(std::size_t expected) {
+    entries_.reserve(expected);
+    const std::size_t needed = slots_for(expected);
+    if (needed > slots_.size()) rehash(needed);
+  }
+
+  /// Drops all entries, retaining both the entry and slot capacity and
+  /// leaving no tombstones (there is no erase; clear is a full reset).
+  void clear() {
+    entries_.clear();
+    slots_.assign(slots_.size(), kEmpty);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// Current slot-table width (power of two); 0 before the first insert or
+  /// reserve. Exposed for capacity/steady-state-allocation tests.
+  std::size_t slot_capacity() const { return slots_.size(); }
+  /// Number of slot-table rebuilds so far. A pre-reserved grid operated
+  /// within its capacity must keep this at the post-reserve value.
+  std::size_t rehash_count() const { return rehashes_; }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  const Value* find(std::uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+      const std::uint32_t s = slots_[i];
+      if (s == kEmpty) return nullptr;
+      if (entries_[s].key == key) return &entries_[s].value;
+    }
+  }
+  Value* find(std::uint64_t key) {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  /// Inserts `key` with a default-constructed value if absent. Returns the
+  /// value slot and whether the key was newly inserted. Pointers are
+  /// invalidated by the next insert (dense storage may regrow).
+  std::pair<Value*, bool> insert(std::uint64_t key) {
+    if (Value* v = find(key)) return {v, false};
+    if (slots_for(entries_.size() + 1) > slots_.size()) {
+      rehash(slots_for(entries_.size() + 1));
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (slots_[i] != kEmpty) i = (i + 1) & mask;
+    slots_[i] = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{key, Value{}});
+    return {&entries_.back().value, true};
+  }
+
+  /// Insertion-order iteration over the dense entries.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr std::size_t kMinSlots = 16;
+
+  static std::uint64_t mix(std::uint64_t x) { return splitmix64_mix(x); }
+
+  /// Smallest power-of-two slot count holding `n` entries at <= 7/8 load.
+  static std::size_t slots_for(std::size_t n) {
+    if (n == 0) return 0;
+    std::size_t slots = kMinSlots;
+    while (n * 8 > slots * 7) slots <<= 1;
+    return slots;
+  }
+
+  /// Rebuilds the slot table at `new_slots` width from the dense entries,
+  /// in insertion order — observable order is untouched.
+  void rehash(std::size_t new_slots) {
+    slots_.assign(new_slots, kEmpty);
+    const std::size_t mask = new_slots - 1;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      std::size_t i = mix(entries_[e].key) & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = static_cast<std::uint32_t>(e);
+    }
+    ++rehashes_;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t rehashes_ = 0;
+};
+
+/// Set of 64-bit keys with FlatHashGrid's determinism and reuse contract.
+using FlatKeySet = FlatHashGrid<Unit>;
+
+}  // namespace iprism::common

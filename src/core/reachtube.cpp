@@ -2,22 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.hpp"
+#include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 
 namespace iprism::core {
 namespace {
 
 /// Packs a quantized (x, y) cell into a hashable key. Coordinates are
-/// offset to keep them positive over any realistic map extent.
-std::uint64_t xy_key(double x, double y, double cell) {
+/// offset to keep them positive over any realistic map extent. `inv_cell`
+/// is the hoisted 1/cell_size — the hot loop multiplies instead of paying
+/// two divides per propagated state.
+std::uint64_t xy_key(double x, double y, double inv_cell) {
   const auto ix = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(std::floor(x / cell)) + (1LL << 30));
+      static_cast<std::int64_t>(std::floor(x * inv_cell)) + (1LL << 30));
   const auto iy = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(std::floor(y / cell)) + (1LL << 30));
+      static_cast<std::int64_t>(std::floor(y * inv_cell)) + (1LL << 30));
   return (ix << 32) | (iy & 0xFFFFFFFFULL);
 }
 
@@ -29,24 +30,34 @@ struct CellReps {
   double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
 };
 
-/// Per-compute() scratch buffers, reused across the slice loop: clear()
-/// retains capacity, so after the first slice the hot loop performs no
-/// regrow allocations. The candidate vector is additionally reserved
-/// up-front (bounded by max_states_per_slice). The hash containers are NOT
-/// pre-reserved: reserve() changes their bucket count and hence iteration
-/// order, and `cells` iteration order feeds the surviving-representative
-/// selection — pre-reserving would silently change tube results.
+/// Per-compute() scratch, reused across the slice loop. Everything is
+/// pre-reserved once and cleared per slice with capacity retained, so after
+/// the first slice the loop performs zero steady-state allocations. The
+/// hash containers are common::FlatHashGrid: iteration order is insertion
+/// order by construction, independent of capacity and load factor, so —
+/// unlike the std::unordered_* scratch this replaced — pre-reserving (or
+/// varying ReachTubeParams::scratch_reserve) cannot perturb tube results
+/// (DESIGN.md §9).
 struct TubeScratch {
-  std::unordered_map<std::uint64_t, CellReps> cells;
-  std::unordered_set<std::uint64_t> dead;
-  std::unordered_set<std::uint64_t> occupied;  // volume when dedup is off
+  common::FlatHashGrid<CellReps> cells;
+  common::FlatKeySet occupied;  // volume when dedup is off
   std::vector<dynamics::VehicleState> candidates;
+  std::vector<char> seen;  // per-candidate emit flags (collect pass)
+  /// Surviving-representative slots paired with their SplitMix64 sort key
+  /// (precomputed once so the emission sort never re-mixes in a comparator).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> kept;
+  std::vector<std::uint32_t> active;      // per-slice obstacle active-set
 
-  explicit TubeScratch(std::size_t expected) { candidates.reserve(expected); }
+  explicit TubeScratch(std::size_t expected, std::size_t obstacle_count) {
+    cells.reserve(expected);
+    occupied.reserve(expected);
+    candidates.reserve(expected);
+    kept.reserve(expected);
+    active.reserve(obstacle_count);
+  }
 
   void next_slice() {
     cells.clear();
-    dead.clear();
     occupied.clear();
     candidates.clear();
   }
@@ -83,6 +94,10 @@ ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
     : params_(params), model_(params.wheelbase) {
   validate(params);
   slices_ = static_cast<int>(std::lround(params.horizon / params.dt));
+  // The ego footprint's circumradius depends only on its dimensions, never
+  // on the state — hoist the hypot out of the per-state collision test.
+  ego_circumradius_ =
+      dynamics::footprint(dynamics::VehicleState{}, params_.ego_dims).circumradius();
 
   const auto& lim = params_.limits;
   std::vector<double> accels;
@@ -118,12 +133,13 @@ std::vector<ObstacleTimeline> ReachTubeComputer::sample_obstacles(
 bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
                                  const dynamics::VehicleState& s,
                                  std::span<const ObstacleTimeline> obstacles,
-                                 std::size_t slice, int exclude_id) const {
+                                 std::span<const std::uint32_t> active,
+                                 std::size_t slice) const {
   const geom::OrientedBox ego_box = dynamics::footprint(s, params_.ego_dims);
   if (!map.contains_box(ego_box, params_.map_margin)) return false;
-  const double ego_r = ego_box.circumradius();
-  for (const ObstacleTimeline& obs : obstacles) {
-    if (obs.actor_id == exclude_id) continue;
+  const double ego_r = ego_circumradius_;
+  for (const std::uint32_t oi : active) {
+    const ObstacleTimeline& obs = obstacles[oi];
     IPRISM_DCHECK(slice < obs.by_slice.size(),
                   "ReachTube: slice index out of obstacle timeline bounds");
     const geom::OrientedBox& box = obs.by_slice[slice];
@@ -150,64 +166,100 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
 
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
+  TubeScratch scratch(expected, obstacles.size());
+  auto& cells = scratch.cells;
+  auto& occupied = scratch.occupied;
+  auto& candidates = scratch.candidates;
+  auto& active = scratch.active;
+
+  // Conservative reachable-disc bound: by slice j (time t = j·dt), every
+  // candidate's footprint lies within seed_pos ± (t·v̄(t) + ego_r), where
+  // v̄(t) = min(v0 + a_max·t, model v_max) bounds speed (the bicycle model
+  // clamps speed to [0, v_max], so braking never adds displacement). An
+  // obstacle whose slice-j footprint disc cannot touch that disc is filtered
+  // out of the slice's active-set once, instead of being broad-phase-tested
+  // per candidate state. kSlack absorbs rounding in the bound arithmetic.
+  const geom::Vec2 seed_pos{ego.x, ego.y};
+  const double ego_r = ego_circumradius_;
+  constexpr double kSlack = 0.5;
+  auto build_active = [&](std::size_t slice) {
+    active.clear();
+    const double t = static_cast<double>(slice) * params_.dt;
+    const double v_bound =
+        std::min(std::max(ego.speed, 0.0) + std::max(params_.limits.accel_max, 0.0) * t,
+                 model_.max_speed());
+    const double reach_r = t * v_bound + ego_r + kSlack;
+    for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
+      const ObstacleTimeline& obs = obstacles[oi];
+      if (obs.actor_id == exclude_id) continue;
+      const double r = reach_r + obs.circumradius_by_slice[slice];
+      if ((obs.by_slice[slice].center() - seed_pos).norm_sq() > r * r) continue;
+      active.push_back(static_cast<std::uint32_t>(oi));
+    }
+  };
+
   // Slice 0: the current ego state. If it already collides (or is off-map),
   // every escape route is gone and the tube is empty.
-  if (!state_ok(map, ego, obstacles, 0, exclude_id)) return tube;
+  build_active(0);
+  if (!state_ok(map, ego, obstacles, active, 0)) return tube;
   tube.slices[0].push_back(ego);
 
   std::size_t volume_cells = 1;  // the seed's own cell
   common::Rng rng(params_.sample_seed);
+  const double inv_cell = 1.0 / params_.cell_size;
 
-  // Per-slice working set, allocated once per compute() call. With dedup
-  // on, each (x, y) epsilon cell keeps up to four representative states
-  // (speed/heading extremes); dead cells (first sample collided or left the
-  // map) are cached so the whole cell is skipped — optimization (1) at cell
-  // granularity.
-  TubeScratch scratch(std::min<std::size_t>(params_.max_states_per_slice, 4096));
-  auto& cells = scratch.cells;
-  auto& dead = scratch.dead;
-  auto& occupied = scratch.occupied;
-  auto& candidates = scratch.candidates;
-
+  // Per-slice working set (scratch above, allocated once per compute()
+  // call). With dedup on, each (x, y) epsilon cell keeps up to four
+  // representative states (speed/heading extremes); dead cells (first
+  // sample collided or left the map) are cached so the whole cell is
+  // skipped — optimization (1) at cell granularity.
   for (int j = 0; j < slices_; ++j) {
     const auto& current = tube.slices[static_cast<std::size_t>(j)];
     auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
     scratch.next_slice();
 
     const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
+    build_active(slice_idx);
+    std::size_t dead_cells = 0;
     auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
       if (candidates.size() >= params_.max_states_per_slice) return;
       const dynamics::VehicleState ns = model_.step(s, u, params_.dt);
 
       if (!params_.dedup) {
-        if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) return;
+        if (!state_ok(map, ns, obstacles, active, slice_idx)) return;
         candidates.push_back(ns);
-        occupied.insert(xy_key(ns.x, ns.y, params_.cell_size));
+        occupied.insert(xy_key(ns.x, ns.y, inv_cell));
         return;
       }
 
-      const std::uint64_t key = xy_key(ns.x, ns.y, params_.cell_size);
-      if (dead.contains(key)) return;
-      auto it = cells.find(key);
-      if (it == cells.end()) {
-        if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) {
-          dead.insert(key);
+      // One probe per candidate: a dead cell (first sample collided or left
+      // the map) stays in `cells` as an entry with no representatives
+      // (min_v < 0) — the separate dead-key set the old loop needed costs a
+      // second hash lookup on every propagated state.
+      const std::uint64_t key = xy_key(ns.x, ns.y, inv_cell);
+      auto [reps_slot, inserted] = cells.insert(key);
+      if (inserted) {
+        if (!state_ok(map, ns, obstacles, active, slice_idx)) {
+          ++dead_cells;  // reps_slot keeps its default min_v = -1 dead marker
           return;
         }
         const int idx = static_cast<int>(candidates.size());
         candidates.push_back(ns);
-        CellReps reps;
-        reps.min_v = reps.max_v = reps.min_h = reps.max_h = idx;
-        reps.v_lo = reps.v_hi = ns.speed;
-        reps.h_lo = reps.h_hi = ns.heading;
-        cells.emplace(key, reps);
+        reps_slot->min_v = reps_slot->max_v = reps_slot->min_h = reps_slot->max_h = idx;
+        reps_slot->v_lo = reps_slot->v_hi = ns.speed;
+        reps_slot->h_lo = reps_slot->h_hi = ns.heading;
         return;
       }
-      CellReps& reps = it->second;
+      CellReps& reps = *reps_slot;
+      if (reps.min_v < 0) return;  // dead cell
       const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
                             ns.heading < reps.h_lo || ns.heading > reps.h_hi;
       if (!improves) return;
-      if (!state_ok(map, ns, obstacles, slice_idx, exclude_id)) return;
+      if (!state_ok(map, ns, obstacles, active, slice_idx)) return;
       const int idx = static_cast<int>(candidates.size());
       candidates.push_back(ns);
       if (ns.speed < reps.v_lo) {
@@ -243,26 +295,46 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
     }
 
     if (params_.dedup) {
-      volume_cells += cells.size();
-      // Collect the surviving representatives (deduplicating shared slots).
-      // NOTE: `kept` is deliberately rebuilt per slice rather than hoisted
-      // into TubeScratch — its iteration order sets the order of `next`, and
-      // a cleared-but-bucket-retaining set iterates differently from a fresh
-      // one, which perturbs tube sampling downstream. The hoisted buffers
-      // above are safe: their iteration never reaches the output.
-      std::unordered_set<int> kept;
-      for (const auto& [key, reps] : cells) {
-        for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) kept.insert(idx);
+      // A dead cell leaves an entry with no representatives; it must not
+      // count toward the slice's occupied volume.
+      volume_cells += cells.size() - dead_cells;
+      // Collect the surviving representatives with a hash-free seen-flags
+      // pass in cell insertion order (first-seen wins for slots shared
+      // between extremes), then emit them in SplitMix64-scrambled slot
+      // order. The scramble decorrelates next-slice propagation order from
+      // this slice's spatial wavefront — the statistical role the old
+      // unordered_set bucket order played — but is defined by construction:
+      // independent of capacity, load factor, standard library, platform,
+      // and thread count (DESIGN.md §9).
+      scratch.seen.assign(candidates.size(), 0);
+      scratch.kept.clear();
+      for (const auto& entry : cells) {
+        const CellReps& reps = entry.value;
+        for (int idx : {reps.min_v, reps.max_v, reps.min_h, reps.max_h}) {
+          if (idx < 0) continue;  // dead cell: no representatives
+          IPRISM_DCHECK(static_cast<std::size_t>(idx) < candidates.size(),
+                        "ReachTube: representative slot out of candidate bounds");
+          if (scratch.seen[static_cast<std::size_t>(idx)]) continue;
+          scratch.seen[static_cast<std::size_t>(idx)] = 1;
+          scratch.kept.emplace_back(
+              common::splitmix64_mix(static_cast<std::uint64_t>(idx)),
+              static_cast<std::uint32_t>(idx));
+        }
       }
-      next.reserve(kept.size());
-      for (int idx : kept) {
-        IPRISM_DCHECK(idx >= 0 && static_cast<std::size_t>(idx) < candidates.size(),
-                      "ReachTube: representative slot out of candidate bounds");
-        next.push_back(candidates[static_cast<std::size_t>(idx)]);
+      // The mix is bijective, so sorting on it alone is a total order.
+      std::sort(scratch.kept.begin(), scratch.kept.end());
+      next.reserve(scratch.kept.size());
+      for (const auto& [mixed, idx] : scratch.kept) {
+        next.push_back(candidates[idx]);
       }
     } else {
       volume_cells += occupied.size();
-      next = candidates;
+      // Hand the slice over without the full copy this branch used to pay;
+      // the moved-from scratch gets its capacity re-reserved for the next
+      // slice.
+      next = std::move(candidates);
+      candidates.clear();
+      candidates.reserve(expected);
     }
     if (next.empty()) break;  // tube pinched off; later slices unreachable
   }

@@ -58,6 +58,12 @@ struct ReachTubeParams {
   /// result, only wall-clock (DESIGN.md §8). RiskMonitorParams::tube and
   /// SmcTrainConfig::tube plumb it into the monitor and SMC training.
   int num_threads = 0;
+  /// Initial reserve (entries) for the per-compute() scratch containers;
+  /// 0 = auto (min(max_states_per_slice, 4096)). Purely a performance hint:
+  /// the scratch is built on common::FlatHashGrid, whose iteration order is
+  /// insertion order regardless of capacity, so tube results are bit-identical
+  /// for any value (DESIGN.md §9; enforced by the capacity-invariance tests).
+  std::size_t scratch_reserve = 0;
 };
 
 /// An actor's footprint at each tube time slice (pre-sampled from its
@@ -117,13 +123,18 @@ class ReachTubeComputer {
                     int exclude_id = -1) const;
 
  private:
+  /// Collision/off-map test against the slice's *active* obstacle subset
+  /// (`active` holds indices into `obstacles`; the caller filters once per
+  /// slice against a conservative reachable-disc bound, so the innermost
+  /// loop only visits obstacles that could possibly intersect).
   bool state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleState& s,
-                std::span<const ObstacleTimeline> obstacles, std::size_t slice,
-                int exclude_id) const;
+                std::span<const ObstacleTimeline> obstacles,
+                std::span<const std::uint32_t> active, std::size_t slice) const;
 
   ReachTubeParams params_;
   dynamics::BicycleModel model_;
   int slices_ = 0;
+  double ego_circumradius_ = 0.0;  ///< constant of ego_dims, hoisted out of state_ok
   std::vector<dynamics::Control> boundary_set_;
 };
 

@@ -127,6 +127,82 @@ TEST(ParallelSti, MonitorAssessmentsUnchangedByThreads) {
   }
 }
 
+// Capacity invariance: ReachTubeParams::scratch_reserve sizes the
+// FlatHashGrid-based per-compute scratch, and because that container's
+// iteration order is insertion order regardless of capacity (DESIGN.md §9),
+// any reserve must yield *bit-identical* tubes. This is the end-to-end form
+// of the container's order guarantee — the old std::unordered_* scratch
+// could not be pre-reserved precisely because this test would fail. Runs in
+// the CI tsan job alongside the thread-identity suites.
+constexpr std::size_t kScratchReserves[] = {0, 64, 4096};
+
+void expect_same_tube(const core::ReachTube& a, const core::ReachTube& b,
+                      std::size_t reserve) {
+  SCOPED_TRACE("scratch_reserve=" + std::to_string(reserve));
+  // Exact == on purpose: the guarantee is bit-identity, not closeness.
+  EXPECT_EQ(a.volume, b.volume);
+  ASSERT_EQ(a.slices.size(), b.slices.size());
+  for (std::size_t j = 0; j < a.slices.size(); ++j) {
+    ASSERT_EQ(a.slices[j].size(), b.slices[j].size()) << "slice " << j;
+    for (std::size_t i = 0; i < a.slices[j].size(); ++i) {
+      EXPECT_EQ(a.slices[j][i].x, b.slices[j][i].x) << "slice " << j << " state " << i;
+      EXPECT_EQ(a.slices[j][i].y, b.slices[j][i].y) << "slice " << j << " state " << i;
+      EXPECT_EQ(a.slices[j][i].heading, b.slices[j][i].heading)
+          << "slice " << j << " state " << i;
+      EXPECT_EQ(a.slices[j][i].speed, b.slices[j][i].speed)
+          << "slice " << j << " state " << i;
+    }
+  }
+}
+
+TEST(TubeCapacityInvariance, TubesBitIdenticalAcrossScratchReserves) {
+  const scenario::ScenarioFactory factory;
+  for (scenario::Typology typology : scenario::kAllTypologies) {
+    SCOPED_TRACE(std::string(scenario::typology_name(typology)));
+    const sim::World world = typology_world(factory, typology);
+    const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+    const core::ReachTubeComputer reference_rt;
+    const core::ReachTube reference =
+        reference_rt.compute(world.map(), world.ego().state, world.time(), forecasts);
+
+    for (std::size_t reserve : kScratchReserves) {
+      core::ReachTubeParams params;
+      params.scratch_reserve = reserve;
+      const core::ReachTubeComputer rt(params);
+      expect_same_tube(
+          reference,
+          rt.compute(world.map(), world.ego().state, world.time(), forecasts), reserve);
+    }
+  }
+}
+
+TEST(TubeCapacityInvariance, StiBitIdenticalAcrossScratchReservesAndThreads) {
+  // The combined matrix: scratch sizing x worker threads, both of which must
+  // be pure performance knobs with no observable effect on STI.
+  const scenario::ScenarioFactory factory;
+  const sim::World world = typology_world(factory, scenario::Typology::kLeadCutIn);
+  const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+  const core::StiCalculator serial;
+  const core::StiResult reference =
+      serial.compute(world.map(), world.ego().state, world.time(), forecasts);
+
+  for (std::size_t reserve : kScratchReserves) {
+    for (int threads : {0, 2, 4}) {
+      core::ReachTubeParams params;
+      params.scratch_reserve = reserve;
+      params.num_threads = threads;
+      const core::StiCalculator sti(params);
+      SCOPED_TRACE("scratch_reserve=" + std::to_string(reserve));
+      expect_bit_identical(
+          reference,
+          sti.compute(world.map(), world.ego().state, world.time(), forecasts),
+          threads);
+    }
+  }
+}
+
 TEST(ParallelSti, NumThreadsValidation) {
   core::ReachTubeParams params;
   params.num_threads = -1;

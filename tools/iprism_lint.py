@@ -24,6 +24,17 @@ this lint enforces the ones that keep the risk monitor trustworthy:
                     every parallel call site inherits the determinism
                     contract (index-owned results, DESIGN.md §8).
 
+  container-discipline
+                    No ``std::unordered_map`` / ``std::unordered_set`` (or
+                    their multi variants) in src/core. Hash-table iteration
+                    order there is observable — it feeds the reach-tube's
+                    surviving-representative selection — and the standard
+                    containers make it depend on bucket count and standard
+                    library. Use ``common::FlatHashGrid`` /
+                    ``common::FlatKeySet`` (src/common/flat_hash.hpp), whose
+                    iteration order is insertion order by construction
+                    (DESIGN.md §9).
+
   float-eq          No ``==`` / ``!=`` against floating-point literals.
                     Use ``common::near()`` (src/common/float_eq.hpp) or —
                     when exact comparison is genuinely meant, e.g. against a
@@ -44,8 +55,8 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("params-validated", "rng-discipline", "thread-discipline", "float-eq",
-         "header-hygiene")
+RULES = ("params-validated", "rng-discipline", "thread-discipline",
+         "container-discipline", "float-eq", "header-hygiene")
 
 SUPPRESS_RE = re.compile(r"//\s*iprism-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 
@@ -58,6 +69,8 @@ BANNED_RNG_RE = re.compile(
     r"std::rand\b|\bsrand\s*\(|std::mt19937|std::random_device|\brand\s*\(\)")
 
 BANNED_THREAD_RE = re.compile(r"std::j?thread\b|std::async\b")
+
+BANNED_CONTAINER_RE = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
 
 # `== 0.25` or `0.25 ==` (also !=), excluding <=, >=, and exponents handled
 # by stripping. Applied to code with comments/strings removed.
@@ -189,6 +202,30 @@ def check_thread_discipline(src, sources):
     return findings
 
 
+def check_container_discipline(src, sources):
+    """src/core must use common::FlatHashGrid, not std::unordered_*."""
+    findings = []
+    for path, text in sources:
+        if "core" not in path.parent.parts:
+            continue
+        code = strip_noncode(text)
+        lines = text.splitlines()
+        sup, _ = suppressions(lines)
+        for i, line in enumerate(code.splitlines(), start=1):
+            m = BANNED_CONTAINER_RE.search(line)
+            if not m:
+                continue
+            if (i, "container-discipline") in sup:
+                continue
+            findings.append(Finding(
+                "container-discipline", path.relative_to(src.parent), i,
+                f"'{m.group(0)}' in src/core — iteration order is observable "
+                f"here; use common::FlatHashGrid / common::FlatKeySet "
+                f"(src/common/flat_hash.hpp) so it is deterministic by "
+                f"construction"))
+    return findings
+
+
 def check_float_eq(src, sources):
     findings = []
     for path, text in sources:
@@ -256,6 +293,7 @@ def main():
     findings += check_params_validated(src, sources)
     findings += check_rng_discipline(src, sources)
     findings += check_thread_discipline(src, sources)
+    findings += check_container_discipline(src, sources)
     findings += check_float_eq(src, sources)
     findings += check_header_hygiene(src, sources)
     findings += check_suppression_quality(src, sources)

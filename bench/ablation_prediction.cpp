@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "common/cli.hpp"
+#include "common/units.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "dynamics/const_accel.hpp"
@@ -28,8 +29,8 @@ std::vector<core::ActorForecast> predicted_forecasts(const eval::EpisodeResult& 
                                                      int step, const Predictor& predictor,
                                                      double horizon, double dt) {
   std::vector<core::ActorForecast> out;
-  const double t = step * episode.dt;
-  const double t_prev = std::max(t - episode.dt, 0.0);
+  const common::Seconds t{step * episode.dt};
+  const common::Seconds t_prev{std::max(t.value() - episode.dt, 0.0)};
   for (const auto& actor : episode.actors) {
     if (actor.is_ego) continue;
     const auto prev = actor.trajectory.at(t_prev);
@@ -37,8 +38,11 @@ std::vector<core::ActorForecast> predicted_forecasts(const eval::EpisodeResult& 
     core::ActorForecast f;
     f.id = actor.id;
     f.dims = actor.dims;
-    f.trajectory = step > 0 ? predictor.predict(prev, now, episode.dt, t, horizon, dt)
-                            : predictor.predict(now, t, horizon, dt);
+    f.trajectory = step > 0
+                       ? predictor.predict(prev, now, common::Seconds{episode.dt}, t,
+                                           common::Seconds{horizon}, common::Seconds{dt})
+                       : predictor.predict(now, t, common::Seconds{horizon},
+                                           common::Seconds{dt});
     out.push_back(std::move(f));
   }
   return out;
@@ -74,13 +78,13 @@ int main(int argc, char** argv) {
       for (int frac = 1; frac <= 4; ++frac) {
         const int step = episode.samples * frac / 5;
         const auto scene = episode.snapshot_at(step);
-        const double truth = sti.combined(*scene.map, scene.ego.state, scene.time,
+        const double truth = sti.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
                                           episode.ground_truth_forecasts(step));
         const double with_cvtr =
-            sti.combined(*scene.map, scene.ego.state, scene.time,
+            sti.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
                          predicted_forecasts(episode, step, cvtr, horizon, dt));
         const double with_ca =
-            sti.combined(*scene.map, scene.ego.state, scene.time,
+            sti.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
                          predicted_forecasts(episode, step, const_accel, horizon, dt));
         cvtr_err.push_back(std::abs(with_cvtr - truth));
         ca_err.push_back(std::abs(with_ca - truth));

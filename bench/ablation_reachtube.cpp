@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
     out.reserve(scenes.size());
     for (const Scene& s : scenes) {
       out.push_back(
-          sti.combined(*s.snapshot.map, s.snapshot.ego.state, s.snapshot.time, s.forecasts));
+          sti.combined(*s.snapshot.map, s.snapshot.ego.state, common::Seconds{s.snapshot.time}, s.forecasts));
     }
     return out;
   };
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < scenes.size(); ++i) {
       const Scene& s = scenes[i];
       const double v =
-          sti.combined(*s.snapshot.map, s.snapshot.ego.state, s.snapshot.time, s.forecasts);
+          sti.combined(*s.snapshot.map, s.snapshot.ego.state, common::Seconds{s.snapshot.time}, s.forecasts);
       value.add(v);
       diff.add(std::abs(v - reference[i]));
     }

@@ -166,7 +166,7 @@ std::optional<std::size_t> select_training_spec(const scenario::ScenarioFactory&
     for (int step = std::max(0, r.accident_step - back); step <= r.accident_step;
          step += 4) {
       const auto scene = r.snapshot_at(step);
-      window.add(sti.combined(*scene.map, scene.ego.state, scene.time,
+      window.add(sti.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
                               r.ground_truth_forecasts(step)));
     }
     if (window.count() > 0 && window.mean() > best_score) {

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/units.hpp"
 #include "bench_util.hpp"
 #include "core/pkl.hpp"
 #include "core/ttc.hpp"
@@ -94,13 +95,13 @@ struct BaselineCellReps {
 
 bool baseline_state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleState& s,
                        std::span<const core::ObstacleTimeline> obstacles,
-                       std::size_t slice, int exclude_id,
+                       std::size_t slice, common::ActorId exclude,
                        const core::ReachTubeParams& p) {
   const geom::OrientedBox ego_box = dynamics::footprint(s, p.ego_dims);
   if (!map.contains_box(ego_box, p.map_margin)) return false;
   const double ego_r = ego_box.circumradius();
   for (const core::ObstacleTimeline& obs : obstacles) {
-    if (obs.actor_id == exclude_id) continue;
+    if (exclude.valid() && obs.actor_id == exclude) continue;
     const geom::OrientedBox& box = obs.by_slice[slice];
     const double r = ego_r + obs.circumradius_by_slice[slice];
     if ((box.center() - ego_box.center()).norm_sq() > r * r) continue;
@@ -112,8 +113,8 @@ bool baseline_state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleS
 core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
                               const dynamics::VehicleState& ego,
                               std::span<const core::ObstacleTimeline> obstacles,
-                              int exclude_id, const core::ReachTubeParams& p) {
-  const dynamics::BicycleModel model(p.wheelbase);
+                              common::ActorId exclude, const core::ReachTubeParams& p) {
+  const dynamics::BicycleModel model(common::Meters{p.wheelbase});
   const int slices = static_cast<int>(std::lround(p.horizon / p.dt));
   std::vector<dynamics::Control> boundary_set;
   for (double a : {0.0, p.limits.accel_max}) {
@@ -124,7 +125,7 @@ core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
 
   core::ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices) + 1, {});
-  if (!baseline_state_ok(map, ego, obstacles, 0, exclude_id, p)) return tube;
+  if (!baseline_state_ok(map, ego, obstacles, 0, exclude, p)) return tube;
   tube.slices[0].push_back(ego);
 
   std::size_t volume_cells = 1;
@@ -143,12 +144,12 @@ core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
     const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
     auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
       if (candidates.size() >= p.max_states_per_slice) return;
-      const dynamics::VehicleState ns = model.step(s, u, p.dt);
+      const dynamics::VehicleState ns = model.step(s, u, common::Seconds{p.dt});
       const std::uint64_t key = baseline_xy_key(ns.x, ns.y, p.cell_size);
       if (dead.contains(key)) return;
       auto it = cells.find(key);
       if (it == cells.end()) {
-        if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude_id, p)) {
+        if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude, p)) {
           dead.insert(key);
           return;
         }
@@ -165,7 +166,7 @@ core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
       const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
                             ns.heading < reps.h_lo || ns.heading > reps.h_hi;
       if (!improves) return;
-      if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude_id, p)) return;
+      if (!baseline_state_ok(map, ns, obstacles, slice_idx, exclude, p)) return;
       const int idx = static_cast<int>(candidates.size());
       candidates.push_back(ns);
       if (ns.speed < reps.v_lo) { reps.v_lo = ns.speed; reps.min_v = idx; }
@@ -197,10 +198,10 @@ void BM_TubeHotpathBaseline(benchmark::State& state) {
   const core::ReachTubeParams params;
   const core::ReachTubeComputer rt(params);
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
-  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  const auto obstacles = rt.sample_obstacles(forecasts, common::Seconds{f.world.time()});
   for (auto _ : state) {
     const auto tube = baseline_tube(f.world.map(), f.world.ego().state, obstacles,
-                                    /*exclude_id=*/-1, params);
+                                    common::ActorId::none(), params);
     benchmark::DoNotOptimize(tube.volume);
   }
 }
@@ -214,10 +215,10 @@ void BM_TubeHotpathFlat(benchmark::State& state) {
   params.scratch_reserve = static_cast<std::size_t>(state.range(0));
   const core::ReachTubeComputer rt(params);
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
-  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  const auto obstacles = rt.sample_obstacles(forecasts, common::Seconds{f.world.time()});
   for (auto _ : state) {
     const auto tube =
-        rt.compute(f.world.map(), f.world.ego().state, obstacles, /*exclude_id=*/-1);
+        rt.compute(f.world.map(), f.world.ego().state, obstacles, common::ActorId::none());
     benchmark::DoNotOptimize(tube.volume);
   }
 }
@@ -231,11 +232,13 @@ void BM_TubeHotpathStiBaseline(benchmark::State& state) {
   const core::ReachTubeParams params;
   const core::ReachTubeComputer rt(params);
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
-  const auto obstacles = rt.sample_obstacles(forecasts, f.world.time());
+  const auto obstacles = rt.sample_obstacles(forecasts, common::Seconds{f.world.time()});
   for (auto _ : state) {
     double acc = 0.0;
-    acc += baseline_tube(f.world.map(), f.world.ego().state, obstacles, -1, params).volume;
-    acc += baseline_tube(f.world.map(), f.world.ego().state, {}, -1, params).volume;
+    acc += baseline_tube(f.world.map(), f.world.ego().state, obstacles,
+                         common::ActorId::none(), params).volume;
+    acc += baseline_tube(f.world.map(), f.world.ego().state, {},
+                         common::ActorId::none(), params).volume;
     for (const auto& obs : obstacles) {
       acc += baseline_tube(f.world.map(), f.world.ego().state, obstacles, obs.actor_id,
                            params)
@@ -252,7 +255,7 @@ void BM_ReachTube(benchmark::State& state) {
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
     const auto tube =
-        rt.compute(f.world.map(), f.world.ego().state, f.world.time(), forecasts);
+        rt.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
     benchmark::DoNotOptimize(tube.volume);
   }
 }
@@ -264,7 +267,7 @@ void BM_StiCombined(benchmark::State& state) {
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sti.combined(f.world.map(), f.world.ego().state, f.world.time(), forecasts));
+        sti.combined(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts));
   }
 }
 BENCHMARK(BM_StiCombined);
@@ -277,7 +280,7 @@ void BM_StiFullPerActor(benchmark::State& state) {
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
     const auto r =
-        sti.compute(f.world.map(), f.world.ego().state, f.world.time(), forecasts);
+        sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
     benchmark::DoNotOptimize(r.combined);
   }
 }
@@ -298,7 +301,7 @@ void BM_StiFullPerActorThreads(benchmark::State& state) {
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
     const auto r =
-        sti.compute(f.world.map(), f.world.ego().state, f.world.time(), forecasts);
+        sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
     benchmark::DoNotOptimize(r.combined);
   }
 }

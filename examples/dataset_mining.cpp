@@ -39,7 +39,7 @@ int main() {
     for (int step = 0; step < log.samples(); step += 5) {
       const auto scene = log.snapshot_at(step);
       const auto forecasts = log.forecasts_at(step);
-      const auto result = sti.compute(log.map(), scene.ego.state, scene.time, forecasts);
+      const auto result = sti.compute(log.map(), scene.ego.state, common::Seconds{scene.time}, forecasts);
       if (result.combined > best.combined) {
         best.step = step;
         best.combined = result.combined;

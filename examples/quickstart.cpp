@@ -9,12 +9,16 @@
 #include <iostream>
 
 #include "core/sti.hpp"
+
+#include "common/units.hpp"
 #include "dynamics/cvtr.hpp"
 #include "roadmap/straight_road.hpp"
 
 using namespace iprism;
 
 namespace {
+
+using namespace iprism::common::literals;
 
 dynamics::VehicleState make_state(double x, double y, double speed) {
   dynamics::VehicleState s;
@@ -40,19 +44,17 @@ int main() {
   std::vector<core::ActorForecast> forecasts;
   // A slow car 15 m ahead in the ego lane.
   forecasts.push_back(
-      {1, predictor.predict(make_state(65.0, map->lane_center_offset(1), 3.0),
-                            /*now_time=*/0.0, /*horizon=*/4.0, /*dt=*/0.25),
+      {1, predictor.predict(make_state(65.0, map->lane_center_offset(1), 3.0), common::Seconds{/*now_time=*/0.0}, common::Seconds{/*horizon=*/4.0}, common::Seconds{/*dt=*/0.25}),
        {4.5, 2.0}});
   // A faster car alongside in the right lane.
   forecasts.push_back(
-      {2, predictor.predict(make_state(48.0, map->lane_center_offset(0), 10.0), 0.0, 4.0,
-                            0.25),
+      {2, predictor.predict(make_state(48.0, map->lane_center_offset(0), 10.0), 0.0_s, 4.0_s, 0.25_s),
        {4.5, 2.0}});
 
   // 4. Compute STI: one reach-tube with everyone present, one per-actor
   //    counterfactual, one with the road empty (Eqs. 1-5).
   const core::StiCalculator sti;
-  const core::StiResult result = sti.compute(*map, ego, /*t0=*/0.0, forecasts);
+  const core::StiResult result = sti.compute(*map, ego, /*t0=*/common::Seconds{0.0}, forecasts);
 
   std::cout << "Escape-route volume |T|      : " << result.volume_all << "\n";
   std::cout << "Empty-road volume   |T^null| : " << result.volume_empty << "\n";

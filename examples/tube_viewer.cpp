@@ -35,7 +35,7 @@ int main() {
 
     const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
     const auto result =
-        sti.compute(world.map(), world.ego().state, world.time(), forecasts);
+        sti.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
     std::cout << "t = " << world.time() << " s — STI(combined) = " << result.combined;
     for (const auto& [id, v] : result.per_actor) {
       std::cout << ", STI(actor " << id << ") = " << v;

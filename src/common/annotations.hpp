@@ -1,0 +1,66 @@
+// Clang thread-safety capability annotations (no-ops on other compilers).
+//
+// These macros let the compiler prove lock discipline at build time: a
+// member declared IPRISM_GUARDED_BY(mu) can only be touched while `mu` is
+// held, and -Wthread-safety (promoted to an error in clang builds, see the
+// top-level CMakeLists) rejects any code path that violates it. TSan (PR 2)
+// checks the schedules a test run happens to execute; this checks *every*
+// compile. Both layers stay on.
+//
+// Usage lives in src/common/sync.hpp (the annotated Mutex/MutexLock/CondVar
+// wrappers) and src/common/thread_pool.hpp (the guarded queue/stop flag).
+// The std primitives can't be annotated directly with libstdc++ — its
+// std::mutex carries no capability attribute — which is why the sync.hpp
+// wrappers exist.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IPRISM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef IPRISM_THREAD_ANNOTATION
+#define IPRISM_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no analysis
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define IPRISM_CAPABILITY(name) IPRISM_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define IPRISM_SCOPED_CAPABILITY IPRISM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be accessed while `x` is held.
+#define IPRISM_GUARDED_BY(x) IPRISM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while `x` is held.
+#define IPRISM_PT_GUARDED_BY(x) IPRISM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry.
+#define IPRISM_REQUIRES(...) \
+  IPRISM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define IPRISM_ACQUIRE(...) \
+  IPRISM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (must be held on entry).
+#define IPRISM_RELEASE(...) \
+  IPRISM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `result`.
+#define IPRISM_TRY_ACQUIRE(result, ...) \
+  IPRISM_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define IPRISM_EXCLUDES(...) IPRISM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (document why at use).
+#define IPRISM_NO_THREAD_SAFETY_ANALYSIS \
+  IPRISM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace iprism::common {
+// Header-hygiene anchor: this header is macros-only by design; the
+// namespace keeps the lint's "opens iprism::" rule meaningful for it too.
+}  // namespace iprism::common

@@ -1,0 +1,85 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable that carry clang thread-safety capability
+// attributes (src/common/annotations.hpp).
+//
+// libstdc++'s std::mutex has no capability attribute, so a member declared
+// IPRISM_GUARDED_BY(some_std_mutex) trips -Wthread-safety-attributes
+// ("argument is not a capability") instead of enabling analysis. These
+// wrappers are the annotated capability types; they add zero state beyond
+// the wrapped primitive and every method is a forwarding inline.
+//
+// Pattern (see ThreadPool for the live example):
+//
+//   common::Mutex mutex_;
+//   int shared_ IPRISM_GUARDED_BY(mutex_);
+//   ...
+//   common::MutexLock lock(mutex_);   // scoped acquire, analysis-visible
+//   shared_ = 1;                      // ok: mutex_ held
+//
+// Condition waits release and re-acquire the mutex internally; the analysis
+// treats the capability as continuously held across wait() — conservative
+// and standard for capability analysis (the caller's invariant "predicate
+// re-checked under the lock" is exactly the while-loop idiom).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace iprism::common {
+
+/// Annotated exclusive-lock capability wrapping std::mutex.
+class IPRISM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IPRISM_ACQUIRE() { m_.lock(); }
+  void unlock() IPRISM_RELEASE() { m_.unlock(); }
+  bool try_lock() IPRISM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// Scoped lock over Mutex (std::unique_lock underneath so CondVar can wait
+/// on it). Analysis-wise: acquires at construction, releases at scope exit.
+class IPRISM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IPRISM_ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() IPRISM_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable usable with MutexLock. Waits must be wrapped in the
+/// usual predicate re-check loop:
+///
+///   while (!predicate()) cv.wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex, blocks, and re-acquires before
+  /// returning. Spurious wakeups possible — always re-check the predicate.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace iprism::common

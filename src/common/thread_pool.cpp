@@ -11,7 +11,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -22,8 +22,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Manual predicate loop (not the cv.wait(lock, pred) overload) so the
+      // guarded reads sit directly in this annotated scope — a predicate
+      // lambda would not inherit the capability and would trip the analysis.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping and fully drained
       job = std::move(queue_.front());
       queue_.pop();

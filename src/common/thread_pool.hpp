@@ -14,19 +14,26 @@
 //   3. Exception transparency. Exceptions thrown by a task travel through
 //      the returned std::future; `parallel_for_each` waits for *all* jobs,
 //      then rethrows the first failure.
+//
+// The queue and stop flag are capability-annotated (IPRISM_GUARDED_BY on
+// the pool's mutex): clang's -Wthread-safety — an error in clang builds —
+// proves at compile time that no code path touches them unlocked. TSan
+// checks the schedules a run happens to execute; this checks every compile
+// (DESIGN.md §10).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/sync.hpp"
 
 namespace iprism::common {
 
@@ -55,7 +62,7 @@ class ThreadPool {
       return future;
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       queue_.push([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -66,10 +73,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ IPRISM_GUARDED_BY(mutex_);
+  bool stopping_ IPRISM_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `fn(i)` for every i in [0, count). With a null pool (or a pool with

@@ -1,0 +1,169 @@
+// Zero-overhead strong types for the quantities the risk pipeline passes
+// around: time, length, speed, angle, actor identity, slice index.
+//
+// A transposed `(dt, v)` argument pair, a seconds-vs-metres mixup, or an
+// actor-id handed to a slice-index parameter is invisible to every runtime
+// check and every regex lint — the doubles are all just doubles. These
+// wrappers make that whole bug class a *compile error* at the public
+// boundaries of the dynamics models and the reach-tube/STI layer, while
+// compiling to the identical machine code: each type is a single double (or
+// int) with only dimensionally-sound operators, and the static_asserts
+// below pin the layout so the claim cannot silently rot.
+//
+// Deployment policy (DESIGN.md §10): *function signatures* carry units;
+// aggregate Params structs and serialized records keep raw doubles (they
+// cross CLI/CSV boundaries, and field-by-field aggregate init is the repo
+// idiom) with the unit documented on the field. The conversion happens once
+// at the API boundary via the explicit constructor.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+
+namespace iprism::common {
+
+/// One double with a dimension tag. Construction from raw double is
+/// explicit; the raw value comes back out only through value(). Same-tag
+/// arithmetic and comparisons are defined here; cross-dimension products
+/// and quotients are defined as free functions below, one per physically
+/// meaningful combination.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : v_(value) {}
+
+  constexpr double value() const { return v_; }
+
+  constexpr Quantity operator+(Quantity o) const { return Quantity{v_ + o.v_}; }
+  constexpr Quantity operator-(Quantity o) const { return Quantity{v_ - o.v_}; }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  /// Scaling by a dimensionless factor keeps the dimension.
+  constexpr Quantity operator*(double k) const { return Quantity{v_ * k}; }
+  constexpr Quantity operator/(double k) const { return Quantity{v_ / k}; }
+  friend constexpr Quantity operator*(double k, Quantity q) {
+    return Quantity{k * q.v_};
+  }
+
+  /// Ratio of like quantities is dimensionless.
+  constexpr double operator/(Quantity o) const { return v_ / o.v_; }
+
+  // NOLINTNEXTLINE(iprism-float-eq): the strong-type layer forwards exact
+  // comparison; near() remains the tool for tolerant comparison of values.
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+struct SecondsTag {};
+struct MetersTag {};
+struct MetersPerSecTag {};
+struct RadiansTag {};
+
+using Seconds = Quantity<SecondsTag>;             ///< time
+using Meters = Quantity<MetersTag>;               ///< length, world frame
+using MetersPerSec = Quantity<MetersPerSecTag>;   ///< speed
+using Radians = Quantity<RadiansTag>;             ///< angle, CCW
+
+// The dimensionally-sound cross products/quotients the pipeline needs.
+// Anything else (Seconds * Seconds, Meters + Radians, ...) does not compile.
+constexpr Meters operator*(MetersPerSec v, Seconds t) {
+  return Meters{v.value() * t.value()};
+}
+constexpr Meters operator*(Seconds t, MetersPerSec v) { return v * t; }
+constexpr MetersPerSec operator/(Meters d, Seconds t) {
+  return MetersPerSec{d.value() / t.value()};
+}
+constexpr Seconds operator/(Meters d, MetersPerSec v) {
+  return Seconds{d.value() / v.value()};
+}
+
+/// Strongly-typed actor identity. Default-constructed (or none()) is the
+/// "no actor" sentinel — the counterfactual tube's "exclude nobody".
+/// Wrapping the id keeps it from ever landing in a slice-index or count
+/// parameter, and vice versa.
+class ActorId {
+ public:
+  constexpr ActorId() = default;
+  constexpr explicit ActorId(int id) : id_(id) {}
+
+  static constexpr ActorId none() { return ActorId{}; }
+
+  constexpr int value() const { return id_; }
+  constexpr bool valid() const { return id_ >= 0; }
+
+  friend constexpr auto operator<=>(ActorId, ActorId) = default;
+
+ private:
+  int id_ = -1;
+};
+
+/// Strongly-typed reach-tube time-slice index (0 = the seed slice at t0).
+class SliceIdx {
+ public:
+  constexpr SliceIdx() = default;
+  constexpr explicit SliceIdx(std::size_t i) : i_(i) {}
+
+  constexpr std::size_t value() const { return i_; }
+
+  constexpr SliceIdx& operator++() {
+    ++i_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SliceIdx, SliceIdx) = default;
+
+ private:
+  std::size_t i_ = 0;
+};
+
+/// Opt-in literal suffixes (`using namespace iprism::common::literals;`):
+/// 1.5_s, 2.7_m, 40.0_mps, 0.5_rad. Tests and examples read better with
+/// them; library code spells the explicit constructor.
+namespace literals {
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(long double v) { return Meters{static_cast<double>(v)}; }
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr MetersPerSec operator""_mps(long double v) {
+  return MetersPerSec{static_cast<double>(v)};
+}
+constexpr MetersPerSec operator""_mps(unsigned long long v) {
+  return MetersPerSec{static_cast<double>(v)};
+}
+constexpr Radians operator""_rad(long double v) {
+  return Radians{static_cast<double>(v)};
+}
+}  // namespace literals
+
+// The zero-overhead claim, pinned: a Quantity is exactly its double, the id
+// types exactly their integer — same size, same alignment, trivially
+// copyable, so they pass in registers and vectorize like the raw scalars.
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(sizeof(MetersPerSec) == sizeof(double));
+static_assert(sizeof(Radians) == sizeof(double));
+static_assert(alignof(Meters) == alignof(double));
+static_assert(sizeof(ActorId) == sizeof(int));
+static_assert(sizeof(SliceIdx) == sizeof(std::size_t));
+static_assert(std::is_trivially_copyable_v<Meters>);
+static_assert(std::is_trivially_copyable_v<ActorId>);
+static_assert(std::is_trivially_copyable_v<SliceIdx>);
+static_assert(std::is_standard_layout_v<Meters>);
+
+}  // namespace iprism::common

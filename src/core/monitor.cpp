@@ -1,6 +1,7 @@
 #include "core/monitor.hpp"
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::core {
 
@@ -41,7 +42,8 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
       !forecasts.empty();
   if (want_attribution) {
     const StiResult full =
-        sti_.compute(world.map(), world.ego().state, world.time(), forecasts);
+        sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
+                     forecasts);
     out.sti_combined = full.combined;
     for (const auto& [id, value] : full.per_actor) {
       if (value >= out.riskiest_sti) {
@@ -51,7 +53,8 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
     }
   } else {
     out.sti_combined =
-        sti_.combined(world.map(), world.ego().state, world.time(), forecasts);
+        sti_.combined(world.map(), world.ego().state, common::Seconds{world.time()},
+                      forecasts);
   }
 
   // STI is clamped to [0, 1] by construction; the threshold comparison

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 #include "dynamics/bicycle.hpp"
 
 namespace iprism::core {
@@ -47,7 +48,7 @@ PklWeights PklMetric::default_weights() {
 
 std::vector<PklCandidate> PklMetric::roll_candidates(const roadmap::DrivableMap& map,
                                                      const SceneSnapshot& scene) const {
-  const dynamics::BicycleModel model(params_.wheelbase);
+  const dynamics::BicycleModel model(common::Meters{params_.wheelbase});
   const int ego_lane = map.lane_at(scene.ego.state.position());
   std::vector<int> lanes;
   if (ego_lane < 0) {
@@ -59,6 +60,7 @@ std::vector<PklCandidate> PklMetric::roll_candidates(const roadmap::DrivableMap&
   }
 
   const int steps = static_cast<int>(std::lround(params_.horizon / params_.dt));
+  const common::Seconds dt{params_.dt};
   std::vector<PklCandidate> out;
   for (int lane : lanes) {
     for (double accel : params_.accel_options) {
@@ -66,7 +68,7 @@ std::vector<PklCandidate> PklMetric::roll_candidates(const roadmap::DrivableMap&
       cand.target_lane = lane;
       cand.accel = accel;
       dynamics::VehicleState s = scene.ego.state;
-      cand.trajectory.append(scene.time, s);
+      cand.trajectory.append(common::Seconds{scene.time}, s);
       const double d_target = map.lane_center_offset(lane);
       for (int j = 1; j <= steps; ++j) {
         // Proportional steering toward the target lane centre (same control
@@ -83,8 +85,8 @@ std::vector<PklCandidate> PklMetric::roll_candidates(const roadmap::DrivableMap&
         u.steer = std::clamp(
             steer_ff + 2.5 * geom::angle_diff(desired, s.heading), -0.5, 0.5);
         u.accel = accel;
-        s = model.step(s, u, params_.dt);
-        cand.trajectory.append(scene.time + j * params_.dt, s);
+        s = model.step(s, u, dt);
+        cand.trajectory.append(common::Seconds{scene.time} + j * dt, s);
       }
       out.push_back(std::move(cand));
     }
@@ -106,7 +108,7 @@ PklFeatures PklMetric::features(const roadmap::DrivableMap& map, const SceneSnap
   double offroad = 0.0;
 
   for (int j = 0; j <= steps; ++j) {
-    const double t = scene.time + j * params_.dt;
+    const common::Seconds t{scene.time + j * params_.dt};
     const dynamics::VehicleState s = candidate.trajectory.at(t);
     const geom::OrientedBox ego_box = dynamics::footprint(s, scene.ego.dims);
     if (!map.contains_box(ego_box, 0.3)) offroad += 1.0;
@@ -135,9 +137,10 @@ PklFeatures PklMetric::features(const roadmap::DrivableMap& map, const SceneSnap
 
   const double v0 = scene.ego.state.speed;
   const double ideal = std::max(v0 * params_.horizon, 1.0);
-  const double s0 = map.arclength(candidate.trajectory.at(scene.time).position());
-  const double s1 =
-      map.arclength(candidate.trajectory.at(scene.time + params_.horizon).position());
+  const double s0 =
+      map.arclength(candidate.trajectory.at(common::Seconds{scene.time}).position());
+  const double s1 = map.arclength(
+      candidate.trajectory.at(common::Seconds{scene.time + params_.horizon}).position());
   double progress = s1 - s0;
   const double road_len = map.road_length();
   if (progress < -road_len / 2.0) progress += road_len;  // ring wrap

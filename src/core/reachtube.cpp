@@ -91,7 +91,7 @@ void ReachTubeComputer::validate(const ReachTubeParams& params) {
 }
 
 ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
-    : params_(params), model_(params.wheelbase) {
+    : params_(params), model_(common::Meters{params.wheelbase}) {
   validate(params);
   slices_ = static_cast<int>(std::lround(params.horizon / params.dt));
   // The ego footprint's circumradius depends only on its dimensions, never
@@ -114,15 +114,16 @@ ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
 }
 
 std::vector<ObstacleTimeline> ReachTubeComputer::sample_obstacles(
-    std::span<const ActorForecast> forecasts, double t0) const {
+    std::span<const ActorForecast> forecasts, common::Seconds t0) const {
+  const common::Seconds dt{params_.dt};
   std::vector<ObstacleTimeline> out;
   out.reserve(forecasts.size());
   for (const ActorForecast& f : forecasts) {
     ObstacleTimeline tl;
-    tl.actor_id = f.id;
+    tl.actor_id = common::ActorId{f.id};
     tl.by_slice.reserve(static_cast<std::size_t>(slices_) + 1);
     for (int j = 0; j <= slices_; ++j) {
-      tl.by_slice.push_back(f.trajectory.footprint_at(t0 + j * params_.dt, f.dims));
+      tl.by_slice.push_back(f.trajectory.footprint_at(t0 + j * dt, f.dims));
     }
     tl.finalize();
     out.push_back(std::move(tl));
@@ -134,7 +135,8 @@ bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
                                  const dynamics::VehicleState& s,
                                  std::span<const ObstacleTimeline> obstacles,
                                  std::span<const std::uint32_t> active,
-                                 std::size_t slice) const {
+                                 common::SliceIdx slice_idx) const {
+  const std::size_t slice = slice_idx.value();
   const geom::OrientedBox ego_box = dynamics::footprint(s, params_.ego_dims);
   if (!map.contains_box(ego_box, params_.map_margin)) return false;
   const double ego_r = ego_circumradius_;
@@ -154,7 +156,7 @@ bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
 ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
                                      const dynamics::VehicleState& ego,
                                      std::span<const ObstacleTimeline> obstacles,
-                                     int exclude_id) const {
+                                     common::ActorId exclude) const {
   for (const ObstacleTimeline& obs : obstacles) {
     IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
                  "ReachTube: obstacle timeline sliced with different parameters");
@@ -186,16 +188,19 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   const geom::Vec2 seed_pos{ego.x, ego.y};
   const double ego_r = ego_circumradius_;
   constexpr double kSlack = 0.5;
-  auto build_active = [&](std::size_t slice) {
+  auto build_active = [&](common::SliceIdx slice_idx) {
     active.clear();
+    const std::size_t slice = slice_idx.value();
     const double t = static_cast<double>(slice) * params_.dt;
     const double v_bound =
         std::min(std::max(ego.speed, 0.0) + std::max(params_.limits.accel_max, 0.0) * t,
-                 model_.max_speed());
+                 model_.max_speed().value());
     const double reach_r = t * v_bound + ego_r + kSlack;
     for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
       const ObstacleTimeline& obs = obstacles[oi];
-      if (obs.actor_id == exclude_id) continue;
+      // ActorId::none() compares equal to no real (>= 0) actor id, so the
+      // default excludes nobody — including anonymous hand-built timelines.
+      if (exclude.valid() && obs.actor_id == exclude) continue;
       const double r = reach_r + obs.circumradius_by_slice[slice];
       if ((obs.by_slice[slice].center() - seed_pos).norm_sq() > r * r) continue;
       active.push_back(static_cast<std::uint32_t>(oi));
@@ -204,13 +209,14 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
 
   // Slice 0: the current ego state. If it already collides (or is off-map),
   // every escape route is gone and the tube is empty.
-  build_active(0);
-  if (!state_ok(map, ego, obstacles, active, 0)) return tube;
+  build_active(common::SliceIdx{0});
+  if (!state_ok(map, ego, obstacles, active, common::SliceIdx{0})) return tube;
   tube.slices[0].push_back(ego);
 
   std::size_t volume_cells = 1;  // the seed's own cell
   common::Rng rng(params_.sample_seed);
   const double inv_cell = 1.0 / params_.cell_size;
+  const common::Seconds dt{params_.dt};  // hoisted: one conversion per compute()
 
   // Per-slice working set (scratch above, allocated once per compute()
   // call). With dedup on, each (x, y) epsilon cell keeps up to four
@@ -222,12 +228,12 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
     auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
     scratch.next_slice();
 
-    const std::size_t slice_idx = static_cast<std::size_t>(j) + 1;
+    const common::SliceIdx slice_idx{static_cast<std::size_t>(j) + 1};
     build_active(slice_idx);
     std::size_t dead_cells = 0;
     auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
       if (candidates.size() >= params_.max_states_per_slice) return;
-      const dynamics::VehicleState ns = model_.step(s, u, params_.dt);
+      const dynamics::VehicleState ns = model_.step(s, u, dt);
 
       if (!params_.dedup) {
         if (!state_ok(map, ns, obstacles, active, slice_idx)) return;
@@ -345,11 +351,12 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
 }
 
 ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
-                                     const dynamics::VehicleState& ego, double t0,
+                                     const dynamics::VehicleState& ego,
+                                     common::Seconds t0,
                                      std::span<const ActorForecast> forecasts,
-                                     int exclude_id) const {
+                                     common::ActorId exclude) const {
   const auto obstacles = sample_obstacles(forecasts, t0);
-  return compute(map, ego, obstacles, exclude_id);
+  return compute(map, ego, obstacles, exclude);
 }
 
 }  // namespace iprism::core

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/units.hpp"
 #include "core/scene.hpp"
 #include "dynamics/bicycle.hpp"
 #include "dynamics/state.hpp"
@@ -69,7 +70,9 @@ struct ReachTubeParams {
 /// An actor's footprint at each tube time slice (pre-sampled from its
 /// forecast trajectory).
 struct ObstacleTimeline {
-  int actor_id = -1;
+  /// Defaults to ActorId::none() — an anonymous obstacle no counterfactual
+  /// can exclude.
+  common::ActorId actor_id;
   std::vector<geom::OrientedBox> by_slice;
   /// circumradius() of each by_slice box, precomputed once per timeline.
   /// The broad-phase test in the tube's innermost loop runs per candidate
@@ -88,7 +91,7 @@ struct ReachTube {
   /// State-space occupancy |T|: distinct (x, y) cells summed over slices.
   double volume = 0.0;
 
-  // iprism-lint: allow(float-eq) volume is an integer-valued cell count, never arithmetic
+  // NOLINTNEXTLINE(iprism-float-eq) volume is an integer-valued cell count, never arithmetic
   bool empty() const { return volume == 0.0; }
 };
 
@@ -108,19 +111,19 @@ class ReachTubeComputer {
   /// Samples every forecast's footprint at the tube's slice times
   /// (t0, t0+dt, ..., t0+k). Shared prep for the counterfactual tubes.
   std::vector<ObstacleTimeline> sample_obstacles(
-      std::span<const ActorForecast> forecasts, double t0) const;
+      std::span<const ActorForecast> forecasts, common::Seconds t0) const;
 
   /// Computes the tube from `ego` at t0 against the given obstacles.
-  /// `exclude_id` (if >= 0) drops that actor — the counterfactual "what if
-  /// actor i were not present" of Eq. (2).
+  /// A valid `exclude` drops that actor — the counterfactual "what if
+  /// actor i were not present" of Eq. (2); ActorId::none() excludes nobody.
   ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
                     std::span<const ObstacleTimeline> obstacles,
-                    int exclude_id = -1) const;
+                    common::ActorId exclude = common::ActorId::none()) const;
 
   /// Convenience: forecast sampling + tube in one call.
   ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
-                    double t0, std::span<const ActorForecast> forecasts,
-                    int exclude_id = -1) const;
+                    common::Seconds t0, std::span<const ActorForecast> forecasts,
+                    common::ActorId exclude = common::ActorId::none()) const;
 
  private:
   /// Collision/off-map test against the slice's *active* obstacle subset
@@ -129,7 +132,7 @@ class ReachTubeComputer {
   /// loop only visits obstacles that could possibly intersect).
   bool state_ok(const roadmap::DrivableMap& map, const dynamics::VehicleState& s,
                 std::span<const ObstacleTimeline> obstacles,
-                std::span<const std::uint32_t> active, std::size_t slice) const;
+                std::span<const std::uint32_t> active, common::SliceIdx slice) const;
 
   ReachTubeParams params_;
   dynamics::BicycleModel model_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::core {
 
@@ -31,10 +32,12 @@ std::vector<ActorForecast> cvtr_forecasts(const sim::World& world, double horizo
     f.id = a.id;
     f.dims = a.dims;
     if (world.step_count() > 0) {
-      f.trajectory =
-          predictor.predict(a.prev_state, a.state, world.dt(), world.time(), horizon, dt);
+      f.trajectory = predictor.predict(a.prev_state, a.state, common::Seconds{world.dt()},
+                                       common::Seconds{world.time()},
+                                       common::Seconds{horizon}, common::Seconds{dt});
     } else {
-      f.trajectory = predictor.predict(a.state, world.time(), horizon, dt);
+      f.trajectory = predictor.predict(a.state, common::Seconds{world.time()},
+                                       common::Seconds{horizon}, common::Seconds{dt});
     }
     out.push_back(std::move(f));
   }

@@ -27,7 +27,7 @@ double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 }  // namespace
 
 StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
-                                 const dynamics::VehicleState& ego, double t0,
+                                 const dynamics::VehicleState& ego, common::Seconds t0,
                                  std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
 
@@ -64,7 +64,8 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // and the result is bit-identical to the serial loop.
   std::vector<double> vol_without(forecasts.size(), 0.0);
   common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
-    vol_without[i] = tube_.compute(map, ego, obstacles, forecasts[i].id).volume;
+    vol_without[i] =
+        tube_.compute(map, ego, obstacles, common::ActorId{forecasts[i].id}).volume;
   });
 
   out.per_actor.reserve(forecasts.size());
@@ -81,7 +82,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
 }
 
 double StiCalculator::combined(const roadmap::DrivableMap& map,
-                               const dynamics::VehicleState& ego, double t0,
+                               const dynamics::VehicleState& ego, common::Seconds t0,
                                std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
   double base[2] = {0.0, 0.0};

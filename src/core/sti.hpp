@@ -49,12 +49,12 @@ class StiCalculator {
   /// Full evaluation: combined STI plus one counterfactual tube per actor
   /// (Eq. 4 for each i, Eq. 5 for the combined value).
   StiResult compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
-                    double t0, std::span<const ActorForecast> forecasts) const;
+                    common::Seconds t0, std::span<const ActorForecast> forecasts) const;
 
   /// Combined STI only (two tubes instead of N+2) — the quantity the SMC
   /// reward needs at every training step.
   double combined(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
-                  double t0, std::span<const ActorForecast> forecasts) const;
+                  common::Seconds t0, std::span<const ActorForecast> forecasts) const;
 
  private:
   ReachTubeComputer tube_;

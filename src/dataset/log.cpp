@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::dataset {
 
@@ -41,11 +42,12 @@ core::SceneSnapshot TrafficLog::snapshot_at(int step) const {
   scene.map = map_.get();
   const double t = step * dt_;
   scene.time = t;
+  const common::Seconds ts{t};
   for (const LoggedActor& a : actors_) {
     if (a.is_ego) {
-      scene.ego = {a.id, a.trajectory.at(t), a.dims};
+      scene.ego = {a.id, a.trajectory.at(ts), a.dims};
     } else {
-      scene.others.push_back({a.id, a.trajectory.at(t), a.dims});
+      scene.others.push_back({a.id, a.trajectory.at(ts), a.dims});
     }
   }
   return scene;
@@ -59,7 +61,8 @@ std::vector<core::ActorForecast> TrafficLog::forecasts_at(int step) const {
     core::ActorForecast f{a.id, a.trajectory, a.dims};
     // Continue past the recording's end so late-log steps still see moving
     // actors as moving (same truncation fix as EpisodeResult).
-    dynamics::extend_with_constant_velocity(f.trajectory, 6.0, 0.25);
+    dynamics::extend_with_constant_velocity(f.trajectory, common::Seconds{6.0},
+                                            common::Seconds{0.25});
     out.push_back(std::move(f));
   }
   return out;
@@ -75,7 +78,7 @@ TrafficLog record_log(sim::World world, sim::Behavior& ego_behavior, double seco
     la.id = a.id;
     la.is_ego = a.kind == sim::ActorKind::kEgo;
     la.dims = a.dims;
-    la.trajectory.append(world.time(), a.state);
+    la.trajectory.append(common::Seconds{world.time()}, a.state);
     slots.push_back(std::move(la));
   }
 
@@ -83,7 +86,9 @@ TrafficLog record_log(sim::World world, sim::Behavior& ego_behavior, double seco
   for (int i = 0; i < steps; ++i) {
     const dynamics::Control ego_u = ego_behavior.decide(world.ego(), world);
     world.step(ego_u);
-    for (LoggedActor& la : slots) la.trajectory.append(world.time(), world.actor(la.id).state);
+    for (LoggedActor& la : slots) {
+      la.trajectory.append(common::Seconds{world.time()}, world.actor(la.id).state);
+    }
   }
 
   for (LoggedActor& la : slots) log.add_actor(std::move(la));

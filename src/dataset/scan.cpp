@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.hpp"
+#include "common/units.hpp"
 
 namespace iprism::dataset {
 
@@ -29,7 +30,8 @@ StiScanResult scan_logs(std::span<const TrafficLog> logs, const core::StiCalcula
       const auto scene = log.snapshot_at(step);
       const auto forecasts = log.forecasts_at(step);
       const core::StiResult r =
-          sti.compute(log.map(), scene.ego.state, scene.time, forecasts);
+          sti.compute(log.map(), scene.ego.state, common::Seconds{scene.time},
+                      forecasts);
       out.combined_sti.push_back(r.combined);
       for (const auto& [id, value] : r.per_actor) out.actor_sti.push_back(value);
     }
@@ -41,7 +43,8 @@ std::vector<RankedActor> rank_actors(const TrafficLog& log, int step,
                                      const core::StiCalculator& sti) {
   const auto scene = log.snapshot_at(step);
   const auto forecasts = log.forecasts_at(step);
-  const core::StiResult r = sti.compute(log.map(), scene.ego.state, scene.time, forecasts);
+  const core::StiResult r = sti.compute(log.map(), scene.ego.state,
+                                        common::Seconds{scene.time}, forecasts);
   std::vector<RankedActor> ranked;
   ranked.reserve(r.per_actor.size());
   for (const auto& [id, value] : r.per_actor) ranked.push_back({id, value});

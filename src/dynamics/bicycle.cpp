@@ -7,19 +7,21 @@
 
 namespace iprism::dynamics {
 
-BicycleModel::BicycleModel(double wheelbase, double max_speed)
-    : wheelbase_(wheelbase), max_speed_(max_speed) {
-  IPRISM_CHECK(wheelbase > 0.0, "BicycleModel: wheelbase must be positive");
-  IPRISM_CHECK(max_speed > 0.0, "BicycleModel: max_speed must be positive");
+BicycleModel::BicycleModel(common::Meters wheelbase, common::MetersPerSec max_speed)
+    : wheelbase_(wheelbase.value()), max_speed_(max_speed.value()) {
+  IPRISM_CHECK(wheelbase_ > 0.0, "BicycleModel: wheelbase must be positive");
+  IPRISM_CHECK(max_speed_ > 0.0, "BicycleModel: max_speed must be positive");
 }
 
-VehicleState BicycleModel::step(const VehicleState& s, const Control& u, double dt) const {
+VehicleState BicycleModel::step(const VehicleState& s, const Control& u,
+                                common::Seconds dt_s) const {
+  const double dt = dt_s.value();
   // Speed first: if braking reaches standstill inside the step, split the
   // step at the stop time so the vehicle does not reverse.
   double v0 = s.speed;
   double v1 = std::clamp(v0 + u.accel * dt, 0.0, max_speed_);
   double move_dt = dt;
-  // iprism-lint: allow(float-eq) exact: std::clamp pins a full stop to literal 0.0
+  // NOLINTNEXTLINE(iprism-float-eq) exact: std::clamp pins a full stop to literal 0.0
   if (v1 == 0.0 && v0 > 0.0 && u.accel < 0.0) {
     move_dt = std::min(dt, v0 / -u.accel);
   }

@@ -4,6 +4,7 @@
 // by [46] (wheelbase ~2.7 m, steering |phi| <= 0.5 rad).
 #pragma once
 
+#include "common/units.hpp"
 #include "dynamics/state.hpp"
 
 namespace iprism::dynamics {
@@ -13,18 +14,24 @@ namespace iprism::dynamics {
 ///   y'     = v sin(theta)
 ///   theta' = v / L * tan(phi)
 ///   v'     = a            (v clamped at 0 and at v_max)
+///
+/// The public surface is unit-typed (common/units.hpp): wheelbase is a
+/// length, max_speed a speed, and step's dt a duration — so a transposed
+/// `(wheelbase, max_speed)` pair or a speed handed to the dt parameter is a
+/// compile error, not a silently wrong tube.
 class BicycleModel {
  public:
   /// wheelbase must be positive; v_max bounds the speed reachable under
   /// sustained acceleration (physical top speed, not a control limit).
-  explicit BicycleModel(double wheelbase = 2.7, double max_speed = 40.0);
+  explicit BicycleModel(common::Meters wheelbase = common::Meters{2.7},
+                        common::MetersPerSec max_speed = common::MetersPerSec{40.0});
 
-  double wheelbase() const { return wheelbase_; }
-  double max_speed() const { return max_speed_; }
+  common::Meters wheelbase() const { return common::Meters{wheelbase_}; }
+  common::MetersPerSec max_speed() const { return common::MetersPerSec{max_speed_}; }
 
   /// Integrates one step of length dt (midpoint rule on heading so that
   /// constant-steer arcs are followed accurately at simulator step sizes).
-  VehicleState step(const VehicleState& s, const Control& u, double dt) const;
+  VehicleState step(const VehicleState& s, const Control& u, common::Seconds dt) const;
 
  private:
   double wheelbase_;

@@ -7,30 +7,36 @@
 
 namespace iprism::dynamics {
 
-Trajectory ConstantAccelPredictor::predict(const VehicleState& now, double now_time,
-                                           double horizon, double dt) const {
+Trajectory ConstantAccelPredictor::predict(const VehicleState& now,
+                                           common::Seconds now_time,
+                                           common::Seconds horizon,
+                                           common::Seconds dt) const {
   return roll(now, 0.0, 0.0, now_time, horizon, dt);
 }
 
 Trajectory ConstantAccelPredictor::predict(const VehicleState& prev,
-                                           const VehicleState& now, double obs_dt,
-                                           double now_time, double horizon,
-                                           double dt) const {
-  IPRISM_CHECK(obs_dt > 0.0, "ConstantAccelPredictor: obs_dt must be positive");
-  const double accel = (now.speed - prev.speed) / obs_dt;
-  const double yaw_rate = geom::angle_diff(now.heading, prev.heading) / obs_dt;
+                                           const VehicleState& now,
+                                           common::Seconds obs_dt,
+                                           common::Seconds now_time,
+                                           common::Seconds horizon,
+                                           common::Seconds dt) const {
+  IPRISM_CHECK(obs_dt.value() > 0.0, "ConstantAccelPredictor: obs_dt must be positive");
+  const double accel = (now.speed - prev.speed) / obs_dt.value();
+  const double yaw_rate = geom::angle_diff(now.heading, prev.heading) / obs_dt.value();
   return roll(now, accel, yaw_rate, now_time, horizon, dt);
 }
 
 Trajectory ConstantAccelPredictor::roll(const VehicleState& now, double accel,
-                                        double yaw_rate, double now_time, double horizon,
-                                        double dt) const {
-  IPRISM_CHECK(dt > 0.0 && horizon > 0.0,
+                                        double yaw_rate, common::Seconds now_time,
+                                        common::Seconds horizon,
+                                        common::Seconds dt_s) const {
+  const double dt = dt_s.value();
+  IPRISM_CHECK(dt > 0.0 && horizon.value() > 0.0,
                "ConstantAccelPredictor: dt and horizon must be positive");
   Trajectory traj;
   VehicleState s = now;
   traj.append(now_time, s);
-  const int steps = static_cast<int>(std::ceil(horizon / dt));
+  const int steps = static_cast<int>(std::ceil(horizon / dt_s));
   for (int i = 1; i <= steps; ++i) {
     const double v0 = s.speed;
     const double v1 = std::max(v0 + accel * dt, 0.0);
@@ -40,7 +46,7 @@ Trajectory ConstantAccelPredictor::roll(const VehicleState& now, double accel,
     s.y += v_mid * std::sin(heading_mid) * dt;
     s.heading = geom::wrap_angle(s.heading + yaw_rate * dt);
     s.speed = v1;
-    traj.append(now_time + i * dt, s);
+    traj.append(now_time + i * dt_s, s);
   }
   return traj;
 }

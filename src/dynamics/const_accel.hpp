@@ -14,17 +14,19 @@ class ConstantAccelPredictor {
  public:
   /// Single-observation form: zero acceleration and yaw rate (degenerates
   /// to straight constant-velocity motion).
-  Trajectory predict(const VehicleState& now, double now_time, double horizon,
-                     double dt) const;
+  Trajectory predict(const VehicleState& now, common::Seconds now_time,
+                     common::Seconds horizon, common::Seconds dt) const;
 
   /// Two-observation form: accel = (v_now - v_prev) / obs_dt, yaw rate from
   /// the heading difference. obs_dt/horizon/dt must be positive (checked).
-  Trajectory predict(const VehicleState& prev, const VehicleState& now, double obs_dt,
-                     double now_time, double horizon, double dt) const;
+  Trajectory predict(const VehicleState& prev, const VehicleState& now,
+                     common::Seconds obs_dt, common::Seconds now_time,
+                     common::Seconds horizon, common::Seconds dt) const;
 
  private:
-  Trajectory roll(const VehicleState& now, double accel, double yaw_rate, double now_time,
-                  double horizon, double dt) const;
+  Trajectory roll(const VehicleState& now, double accel, double yaw_rate,
+                  common::Seconds now_time, common::Seconds horizon,
+                  common::Seconds dt) const;
 };
 
 }  // namespace iprism::dynamics

@@ -6,33 +6,36 @@
 
 namespace iprism::dynamics {
 
-Trajectory CvtrPredictor::predict(const VehicleState& now, double now_time, double horizon,
-                                  double dt) const {
+Trajectory CvtrPredictor::predict(const VehicleState& now, common::Seconds now_time,
+                                  common::Seconds horizon, common::Seconds dt) const {
   return roll(now, 0.0, now_time, horizon, dt);
 }
 
 Trajectory CvtrPredictor::predict(const VehicleState& prev, const VehicleState& now,
-                                  double obs_dt, double now_time, double horizon,
-                                  double dt) const {
-  IPRISM_CHECK(obs_dt > 0.0, "CvtrPredictor: obs_dt must be positive");
-  const double yaw_rate = geom::angle_diff(now.heading, prev.heading) / obs_dt;
+                                  common::Seconds obs_dt, common::Seconds now_time,
+                                  common::Seconds horizon, common::Seconds dt) const {
+  IPRISM_CHECK(obs_dt.value() > 0.0, "CvtrPredictor: obs_dt must be positive");
+  const double yaw_rate = geom::angle_diff(now.heading, prev.heading) / obs_dt.value();
   return roll(now, yaw_rate, now_time, horizon, dt);
 }
 
-Trajectory CvtrPredictor::roll(const VehicleState& now, double yaw_rate, double now_time,
-                               double horizon, double dt) const {
-  IPRISM_CHECK(dt > 0.0 && horizon > 0.0, "CvtrPredictor: dt and horizon must be positive");
+Trajectory CvtrPredictor::roll(const VehicleState& now, double yaw_rate,
+                               common::Seconds now_time, common::Seconds horizon,
+                               common::Seconds dt_s) const {
+  const double dt = dt_s.value();
+  IPRISM_CHECK(dt > 0.0 && horizon.value() > 0.0,
+               "CvtrPredictor: dt and horizon must be positive");
   Trajectory traj;
   VehicleState s = now;
   traj.append(now_time, s);
-  const int steps = static_cast<int>(std::ceil(horizon / dt));
+  const int steps = static_cast<int>(std::ceil(horizon / dt_s));
   for (int i = 1; i <= steps; ++i) {
     // Exact integration of constant speed + constant yaw rate.
     const double heading_mid = s.heading + 0.5 * yaw_rate * dt;
     s.x += s.speed * std::cos(heading_mid) * dt;
     s.y += s.speed * std::sin(heading_mid) * dt;
     s.heading = geom::wrap_angle(s.heading + yaw_rate * dt);
-    traj.append(now_time + i * dt, s);
+    traj.append(now_time + i * dt_s, s);
   }
   return traj;
 }

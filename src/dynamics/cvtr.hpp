@@ -14,17 +14,18 @@ class CvtrPredictor {
  public:
   /// Predict from a single state (yaw rate assumed 0).
   /// dt/horizon must be positive (checked).
-  Trajectory predict(const VehicleState& now, double now_time, double horizon,
-                     double dt) const;
+  Trajectory predict(const VehicleState& now, common::Seconds now_time,
+                     common::Seconds horizon, common::Seconds dt) const;
 
   /// Predict with a yaw-rate estimate from the previous state, observed
   /// `obs_dt` seconds before `now`.
-  Trajectory predict(const VehicleState& prev, const VehicleState& now, double obs_dt,
-                     double now_time, double horizon, double dt) const;
+  Trajectory predict(const VehicleState& prev, const VehicleState& now,
+                     common::Seconds obs_dt, common::Seconds now_time,
+                     common::Seconds horizon, common::Seconds dt) const;
 
  private:
-  Trajectory roll(const VehicleState& now, double yaw_rate, double now_time, double horizon,
-                  double dt) const;
+  Trajectory roll(const VehicleState& now, double yaw_rate, common::Seconds now_time,
+                  common::Seconds horizon, common::Seconds dt) const;
 };
 
 }  // namespace iprism::dynamics

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "common/units.hpp"
 #include "geom/vec2.hpp"
 
 namespace iprism::dynamics {
@@ -12,6 +13,11 @@ namespace iprism::dynamics {
 /// Kinematic vehicle state: rear-axle reference position, heading, speed.
 /// Speed is non-negative (the library models forward driving; braking
 /// saturates at standstill).
+///
+/// Fields are raw doubles — the struct is aggregate-initialized all over the
+/// scenario/serialization layer — with the unit fixed in the name and
+/// comment; the typed accessors below are the bridge into unit-checked code
+/// (common/units.hpp).
 struct VehicleState {
   double x = 0.0;        ///< metres, world frame
   double y = 0.0;        ///< metres, world frame
@@ -20,6 +26,9 @@ struct VehicleState {
 
   geom::Vec2 position() const { return {x, y}; }
   geom::Vec2 velocity() const { return geom::heading_vec(heading) * speed; }
+
+  common::Radians heading_angle() const { return common::Radians{heading}; }
+  common::MetersPerSec speed_mps() const { return common::MetersPerSec{speed}; }
 };
 
 /// Control input u = (a, phi): longitudinal acceleration and front-wheel

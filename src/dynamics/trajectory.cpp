@@ -6,24 +6,25 @@
 
 namespace iprism::dynamics {
 
-void Trajectory::append(double t, const VehicleState& s) {
-  IPRISM_CHECK(samples_.empty() || t > samples_.back().t,
+void Trajectory::append(common::Seconds t, const VehicleState& s) {
+  IPRISM_CHECK(samples_.empty() || t.value() > samples_.back().t,
                "Trajectory: timestamps must be strictly increasing");
-  samples_.push_back({t, s});
+  samples_.push_back({t.value(), s});
 }
 
-double Trajectory::start_time() const {
+common::Seconds Trajectory::start_time() const {
   IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
-  return samples_.front().t;
+  return common::Seconds{samples_.front().t};
 }
 
-double Trajectory::end_time() const {
+common::Seconds Trajectory::end_time() const {
   IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
-  return samples_.back().t;
+  return common::Seconds{samples_.back().t};
 }
 
-VehicleState Trajectory::at(double t) const {
+VehicleState Trajectory::at(common::Seconds ts) const {
   IPRISM_CHECK(!samples_.empty(), "Trajectory: empty");
+  const double t = ts.value();
   if (t <= samples_.front().t) return samples_.front().state;
   if (t >= samples_.back().t) return samples_.back().state;
   const auto it = std::lower_bound(
@@ -41,7 +42,8 @@ VehicleState Trajectory::at(double t) const {
   return out;
 }
 
-geom::OrientedBox Trajectory::footprint_at(double t, const Dimensions& dims) const {
+geom::OrientedBox Trajectory::footprint_at(common::Seconds t,
+                                           const Dimensions& dims) const {
   return footprint(at(t), dims);
 }
 
@@ -49,17 +51,18 @@ geom::OrientedBox footprint(const VehicleState& s, const Dimensions& dims) {
   return geom::OrientedBox(s.position(), dims.length / 2.0, dims.width / 2.0, s.heading);
 }
 
-void extend_with_constant_velocity(Trajectory& trajectory, double seconds, double dt) {
+void extend_with_constant_velocity(Trajectory& trajectory, common::Seconds seconds,
+                                   common::Seconds dt) {
   IPRISM_CHECK(!trajectory.empty(), "extend_with_constant_velocity: empty trajectory");
-  IPRISM_CHECK(seconds > 0.0 && dt > 0.0,
+  IPRISM_CHECK(seconds.value() > 0.0 && dt.value() > 0.0,
                "extend_with_constant_velocity: seconds and dt must be positive");
-  const double t_end = trajectory.end_time();
+  const common::Seconds t_end = trajectory.end_time();
   VehicleState s = trajectory.at(t_end);
   const geom::Vec2 vel = s.velocity();
   const int steps = static_cast<int>(std::ceil(seconds / dt));
   for (int i = 1; i <= steps; ++i) {
-    s.x += vel.x * dt;
-    s.y += vel.y * dt;
+    s.x += vel.x * dt.value();
+    s.y += vel.y * dt.value();
     trajectory.append(t_end + i * dt, s);
   }
 }

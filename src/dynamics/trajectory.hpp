@@ -6,14 +6,17 @@
 
 #include <vector>
 
+#include "common/units.hpp"
 #include "dynamics/state.hpp"
 #include "geom/obb.hpp"
 
 namespace iprism::dynamics {
 
-/// One trajectory sample.
+/// One trajectory sample. The timestamp stays a raw double (the struct is a
+/// serialization record — PKL logs, CSV dumps); the Trajectory API around it
+/// speaks common::Seconds.
 struct TimedState {
-  double t = 0.0;
+  double t = 0.0;  ///< seconds, scenario clock
   VehicleState state;
 };
 
@@ -25,21 +28,21 @@ class Trajectory {
  public:
   Trajectory() = default;
 
-  void append(double t, const VehicleState& s);
+  void append(common::Seconds t, const VehicleState& s);
 
   bool empty() const { return samples_.empty(); }
   std::size_t size() const { return samples_.size(); }
   const std::vector<TimedState>& samples() const { return samples_; }
-  double start_time() const;
-  double end_time() const;
+  common::Seconds start_time() const;
+  common::Seconds end_time() const;
 
   /// Linear interpolation in position/speed, shortest-arc in heading;
   /// clamped at both ends. Requires a non-empty trajectory (checked).
-  VehicleState at(double t) const;
+  VehicleState at(common::Seconds t) const;
 
   /// Oriented footprint of an actor with the given dimensions at time t,
   /// with the state position as the box centre.
-  geom::OrientedBox footprint_at(double t, const Dimensions& dims) const;
+  geom::OrientedBox footprint_at(common::Seconds t, const Dimensions& dims) const;
 
  private:
   std::vector<TimedState> samples_;
@@ -54,6 +57,7 @@ geom::OrientedBox footprint(const VehicleState& s, const Dimensions& dims);
 /// without it, a moving actor would appear to freeze at the final sample
 /// (a pure truncation artifact). Requires a non-empty trajectory and
 /// positive seconds/dt (checked).
-void extend_with_constant_velocity(Trajectory& trajectory, double seconds, double dt);
+void extend_with_constant_velocity(Trajectory& trajectory, common::Seconds seconds,
+                                   common::Seconds dt);
 
 }  // namespace iprism::dynamics

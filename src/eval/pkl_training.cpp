@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::eval {
 
@@ -30,7 +31,7 @@ std::vector<core::PklTrainingExample> collect_pkl_examples(const EpisodeResult& 
     for (std::size_t c = 0; c < candidates.size(); ++c) {
       double dist = 0.0;
       for (double frac : {0.33, 0.66, 1.0}) {
-        const double t = scene.time + frac * horizon;
+        const common::Seconds t{scene.time + frac * horizon};
         const auto planned = candidates[c].trajectory.at(t);
         const auto realized = ego.trajectory.at(t);
         dist += std::hypot(planned.x - realized.x, planned.y - realized.y);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::eval {
 namespace {
@@ -114,7 +115,7 @@ std::string render_world(const sim::World& world, bool with_tube,
   const core::ReachTubeComputer rt;
   const auto forecasts = core::cvtr_forecasts(world, rt.params().horizon, rt.params().dt);
   const core::ReachTube tube =
-      rt.compute(world.map(), scene.ego.state, scene.time, forecasts);
+      rt.compute(world.map(), scene.ego.state, common::Seconds{scene.time}, forecasts);
   return render_scene(scene, &tube, options);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::eval {
 
@@ -20,11 +21,12 @@ core::SceneSnapshot EpisodeResult::snapshot_at(int step) const {
   scene.map = map.get();
   const double t = step * dt;
   scene.time = t;
+  const common::Seconds ts{t};
   for (const ActorTrace& a : actors) {
     if (a.is_ego) {
-      scene.ego = {a.id, a.trajectory.at(t), a.dims};
+      scene.ego = {a.id, a.trajectory.at(ts), a.dims};
     } else {
-      scene.others.push_back({a.id, a.trajectory.at(t), a.dims});
+      scene.others.push_back({a.id, a.trajectory.at(ts), a.dims});
     }
   }
   return scene;
@@ -39,7 +41,8 @@ std::vector<core::ActorForecast> EpisodeResult::ground_truth_forecasts(int step)
     // The recording stops at the accident (or episode end); continue each
     // actor at constant velocity so a moving threat does not spuriously
     // freeze at the final recorded sample.
-    dynamics::extend_with_constant_velocity(f.trajectory, 6.0, 0.25);
+    dynamics::extend_with_constant_velocity(f.trajectory, common::Seconds{6.0},
+                                            common::Seconds{0.25});
     out.push_back(std::move(f));
   }
   return out;
@@ -65,7 +68,7 @@ EpisodeResult run_episode(sim::World world, agents::DrivingAgent& agent,
     result.actors.push_back(std::move(t));
   }
   for (ActorTrace& t : result.actors) {
-    t.trajectory.append(world.time(), world.actor(t.id).state);
+    t.trajectory.append(common::Seconds{world.time()}, world.actor(t.id).state);
   }
   result.samples = 1;
 
@@ -83,7 +86,7 @@ EpisodeResult run_episode(sim::World world, agents::DrivingAgent& agent,
     }
     world.step(u);
     for (ActorTrace& t : result.actors) {
-      t.trajectory.append(world.time(), world.actor(t.id).state);
+      t.trajectory.append(common::Seconds{world.time()}, world.actor(t.id).state);
     }
     ++result.samples;
 

@@ -1,6 +1,7 @@
 #include "eval/series.hpp"
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::eval {
 
@@ -21,7 +22,8 @@ std::vector<double> risk_series(const EpisodeResult& episode, const RiskFn& fn,
 RiskFn sti_risk(const core::StiCalculator& calc) {
   return [&calc](const core::SceneSnapshot& scene,
                  const std::vector<core::ActorForecast>& forecasts) {
-    return calc.combined(*scene.map, scene.ego.state, scene.time, forecasts);
+    return calc.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
+                         forecasts);
   };
 }
 

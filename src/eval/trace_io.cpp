@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::eval {
 
@@ -53,7 +54,7 @@ std::vector<ActorTrace> read_episode_csv(std::istream& is) {
     trace.id = id;
     trace.is_ego = is_ego;
     trace.dims = {length, width};
-    trace.trajectory.append(t, state);
+    trace.trajectory.append(common::Seconds{t}, state);
   }
 
   std::vector<ActorTrace> out;

@@ -30,6 +30,7 @@ struct Vec2 {
     y -= o.y;
     return *this;
   }
+  // NOLINTNEXTLINE(iprism-float-eq) exact: value identity for grid keys and tests, not tolerance
   constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
 
   constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }

@@ -97,7 +97,7 @@ double Mlp::accumulate_gradient(std::span<const double> input, int action, doubl
     std::vector<double> prev_delta(static_cast<std::size_t>(layer.in), 0.0);
     for (int o = 0; o < layer.out; ++o) {
       const double d = delta[static_cast<std::size_t>(o)];
-      // iprism-lint: allow(float-eq) exact: ReLU writes literal 0.0; skip dead units
+      // NOLINTNEXTLINE(iprism-float-eq) exact: ReLU writes literal 0.0; skip dead units
       if (d == 0.0) continue;
       layer.grad_b[static_cast<std::size_t>(o)] += d;
       double* gw = &layer.grad_w[static_cast<std::size_t>(o) * layer.in];

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 
 namespace iprism::sim {
 
@@ -107,7 +108,7 @@ void World::integrate(Actor& actor, const dynamics::Control& u) {
     actor.state = s;
     return;
   }
-  actor.state = vehicle_model_.step(actor.state, u, dt_);
+  actor.state = vehicle_model_.step(actor.state, u, common::Seconds{dt_});
 }
 
 void World::step(std::optional<dynamics::Control> ego_control) {

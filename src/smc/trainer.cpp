@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "common/units.hpp"
 #include "core/scene.hpp"
 #include "smc/features.hpp"
 
@@ -139,7 +140,8 @@ rl::Mlp SmcTrainer::train_once(const std::function<sim::World(int)>& world_facto
       if (config_.reward.use_sti && !collided) {
         const auto forecasts =
             core::cvtr_forecasts(world, config_.tube.horizon, config_.tube.dt);
-        sti_combined = sti.combined(world.map(), world.ego().state, world.time(), forecasts);
+        sti_combined = sti.combined(world.map(), world.ego().state,
+                                    common::Seconds{world.time()}, forecasts);
       } else if (collided) {
         sti_combined = 1.0;  // escape routes exhausted by definition (§II)
       }

@@ -4,19 +4,23 @@
 
 #include <cmath>
 
+#include "common/units.hpp"
+
 namespace iprism::dynamics {
 namespace {
 
+using namespace common::literals;
+
 TEST(BicycleModel, RejectsBadParameters) {
-  EXPECT_THROW(BicycleModel(0.0), std::invalid_argument);
-  EXPECT_THROW(BicycleModel(2.7, -1.0), std::invalid_argument);
+  EXPECT_THROW(BicycleModel(0.0_m), std::invalid_argument);
+  EXPECT_THROW(BicycleModel(2.7_m, -1.0_mps), std::invalid_argument);
 }
 
 TEST(BicycleModel, StraightLineAtConstantSpeed) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 10.0;
-  s = m.step(s, {0.0, 0.0}, 1.0);
+  s = m.step(s, {0.0, 0.0}, 1.0_s);
   EXPECT_NEAR(s.x, 10.0, 1e-12);
   EXPECT_NEAR(s.y, 0.0, 1e-12);
   EXPECT_NEAR(s.speed, 10.0, 1e-12);
@@ -24,39 +28,39 @@ TEST(BicycleModel, StraightLineAtConstantSpeed) {
 }
 
 TEST(BicycleModel, AccelerationIntegratesWithMidpointSpeed) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 5.0;
-  s = m.step(s, {2.0, 0.0}, 1.0);
+  s = m.step(s, {2.0, 0.0}, 1.0_s);
   EXPECT_NEAR(s.speed, 7.0, 1e-12);
   EXPECT_NEAR(s.x, 6.0, 1e-12);  // midpoint speed 6 m/s
 }
 
 TEST(BicycleModel, BrakingStopsAtZeroNotReverse) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 2.0;
-  s = m.step(s, {-6.0, 0.0}, 1.0);  // would reach -4 m/s unclamped
+  s = m.step(s, {-6.0, 0.0}, 1.0_s);  // would reach -4 m/s unclamped
   EXPECT_DOUBLE_EQ(s.speed, 0.0);
   // Distance covered only until the stop at t = 1/3 s.
   EXPECT_NEAR(s.x, 1.0 / 3.0, 1e-9);
 }
 
 TEST(BicycleModel, StationaryVehicleDoesNotCreep) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 0.0;
-  s = m.step(s, {0.0, 0.4}, 1.0);
+  s = m.step(s, {0.0, 0.4}, 1.0_s);
   EXPECT_DOUBLE_EQ(s.x, 0.0);
   EXPECT_DOUBLE_EQ(s.speed, 0.0);
   EXPECT_DOUBLE_EQ(s.heading, 0.0);  // no yaw without speed
 }
 
 TEST(BicycleModel, TopSpeedClamp) {
-  const BicycleModel m(2.7, 12.0);
+  const BicycleModel m(2.7_m, 12.0_mps);
   VehicleState s;
   s.speed = 11.5;
-  s = m.step(s, {3.0, 0.0}, 1.0);
+  s = m.step(s, {3.0, 0.0}, 1.0_s);
   EXPECT_DOUBLE_EQ(s.speed, 12.0);
 }
 
@@ -64,7 +68,7 @@ TEST(BicycleModel, ConstantSteerTracesCircleOfKnownRadius) {
   const double L = 2.7;
   const double phi = 0.3;
   const double R = L / std::tan(phi);
-  const BicycleModel m(L);
+  const BicycleModel m(common::Meters{L});
   VehicleState s;
   s.speed = 5.0;
   // Integrate half a revolution with small steps and compare to the circle.
@@ -72,18 +76,18 @@ TEST(BicycleModel, ConstantSteerTracesCircleOfKnownRadius) {
   const double yaw_rate = s.speed / R;
   const double total = M_PI / yaw_rate;
   int steps = static_cast<int>(total / dt);
-  for (int i = 0; i < steps; ++i) s = m.step(s, {0.0, phi}, dt);
+  for (int i = 0; i < steps; ++i) s = m.step(s, {0.0, phi}, common::Seconds{dt});
   // After half a revolution the vehicle is ~2R to the left.
   EXPECT_NEAR(s.x, 0.0, 0.15);
   EXPECT_NEAR(s.y, 2.0 * R, 0.15);
 }
 
 TEST(BicycleModel, HeadingStaysWrapped) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 10.0;
   for (int i = 0; i < 2000; ++i) {
-    s = m.step(s, {0.0, 0.4}, 0.1);
+    s = m.step(s, {0.0, 0.4}, 0.1_s);
     ASSERT_LE(std::abs(s.heading), M_PI + 1e-9);
   }
 }
@@ -91,15 +95,15 @@ TEST(BicycleModel, HeadingStaysWrapped) {
 class SteerSymmetryTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(SteerSymmetryTest, LeftRightSymmetric) {
-  const BicycleModel m(2.7);
+  const BicycleModel m(2.7_m);
   VehicleState s;
   s.speed = 8.0;
   VehicleState left = s;
   VehicleState right = s;
   const double phi = GetParam();
   for (int i = 0; i < 20; ++i) {
-    left = m.step(left, {0.5, phi}, 0.1);
-    right = m.step(right, {0.5, -phi}, 0.1);
+    left = m.step(left, {0.5, phi}, 0.1_s);
+    right = m.step(right, {0.5, -phi}, 0.1_s);
   }
   EXPECT_NEAR(left.x, right.x, 1e-9);
   EXPECT_NEAR(left.y, -right.y, 1e-9);

@@ -1,11 +1,15 @@
 #include "dynamics/const_accel.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 namespace iprism::dynamics {
 namespace {
+
+using namespace iprism::common::literals;
 
 VehicleState state(double x, double y, double heading, double speed) {
   VehicleState s;
@@ -18,44 +22,44 @@ VehicleState state(double x, double y, double heading, double speed) {
 
 TEST(ConstAccel, ValidatesArguments) {
   const ConstantAccelPredictor p;
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, -1.0, 0.1), std::invalid_argument);
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, 1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), state(0, 0, 0, 1), 0.0, 0.0, 1.0, 0.1),
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0_s, -1.0_s, 0.1_s), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0_s, 1.0_s, 0.0_s), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), state(0, 0, 0, 1), 0.0_s, 0.0_s, 1.0_s, 0.1_s),
                std::invalid_argument);
 }
 
 TEST(ConstAccel, SingleObservationIsConstantVelocity) {
   const ConstantAccelPredictor p;
-  const Trajectory t = p.predict(state(0, 0, 0, 6), 0.0, 2.0, 0.25);
-  EXPECT_NEAR(t.at(2.0).x, 12.0, 1e-9);
-  EXPECT_NEAR(t.at(2.0).speed, 6.0, 1e-12);
+  const Trajectory t = p.predict(state(0, 0, 0, 6), 0.0_s, 2.0_s, 0.25_s);
+  EXPECT_NEAR(t.at(2.0_s).x, 12.0, 1e-9);
+  EXPECT_NEAR(t.at(2.0_s).speed, 6.0, 1e-12);
 }
 
 TEST(ConstAccel, EstimatesAccelerationFromHistory) {
   const ConstantAccelPredictor p;
   // Speed rose 5 -> 6 over 0.5 s: accel 2 m/s^2.
   const Trajectory t =
-      p.predict(state(0, 0, 0, 5), state(2.75, 0, 0, 6), 0.5, 0.0, 2.0, 0.25);
-  EXPECT_NEAR(t.at(2.0).speed, 10.0, 1e-9);
+      p.predict(state(0, 0, 0, 5), state(2.75, 0, 0, 6), 0.5_s, 0.0_s, 2.0_s, 0.25_s);
+  EXPECT_NEAR(t.at(2.0_s).speed, 10.0, 1e-9);
   // Distance from x0=2.75: 6*2 + 0.5*2*4 = 16.
-  EXPECT_NEAR(t.at(2.0).x, 18.75, 1e-6);
+  EXPECT_NEAR(t.at(2.0_s).x, 18.75, 1e-6);
 }
 
 TEST(ConstAccel, DeceleratingActorStopsAndStays) {
   const ConstantAccelPredictor p;
   // Decelerating 2 m/s^2 from 2 m/s: stops after 1 s, then holds.
   const Trajectory t =
-      p.predict(state(0, 0, 0, 3), state(1.25, 0, 0, 2), 0.5, 0.0, 3.0, 0.25);
-  EXPECT_DOUBLE_EQ(t.at(3.0).speed, 0.0);
-  const double stop_x = t.at(1.5).x;
-  EXPECT_NEAR(t.at(3.0).x, stop_x, 1e-9);  // no reversing
+      p.predict(state(0, 0, 0, 3), state(1.25, 0, 0, 2), 0.5_s, 0.0_s, 3.0_s, 0.25_s);
+  EXPECT_DOUBLE_EQ(t.at(3.0_s).speed, 0.0);
+  const double stop_x = t.at(1.5_s).x;
+  EXPECT_NEAR(t.at(3.0_s).x, stop_x, 1e-9);  // no reversing
 }
 
 TEST(ConstAccel, TurnRateCarriesOver) {
   const ConstantAccelPredictor p;
   const Trajectory t =
-      p.predict(state(0, 0, -0.1, 5), state(0.5, 0, 0.0, 5), 0.1, 0.0, 1.0, 0.1);
-  EXPECT_NEAR(t.at(1.0).heading, 1.0, 1e-9);  // 1 rad/s held
+      p.predict(state(0, 0, -0.1, 5), state(0.5, 0, 0.0, 5), 0.1_s, 0.0_s, 1.0_s, 0.1_s);
+  EXPECT_NEAR(t.at(1.0_s).heading, 1.0, 1e-9);  // 1 rad/s held
 }
 
 TEST(ConstAccel, CapturesBrakingBetterThanCvtr) {
@@ -63,8 +67,8 @@ TEST(ConstAccel, CapturesBrakingBetterThanCvtr) {
   // where constant velocity would.
   const ConstantAccelPredictor p;
   const Trajectory t =
-      p.predict(state(0, 0, 0, 8.6), state(0.83, 0, 0, 8.0), 0.1, 0.0, 2.0, 0.25);
-  EXPECT_LT(t.at(2.0).x, 0.83 + 8.0 * 2.0 - 3.0);
+      p.predict(state(0, 0, 0, 8.6), state(0.83, 0, 0, 8.0), 0.1_s, 0.0_s, 2.0_s, 0.25_s);
+  EXPECT_LT(t.at(2.0_s).x, 0.83 + 8.0 * 2.0 - 3.0);
 }
 
 }  // namespace

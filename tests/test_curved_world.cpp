@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/sti.hpp"
+
+#include "common/units.hpp"
 #include "dynamics/cvtr.hpp"
 #include "roadmap/polyline_road.hpp"
 #include "roadmap/ring_road.hpp"
@@ -14,6 +16,8 @@
 
 namespace iprism {
 namespace {
+
+using namespace iprism::common::literals;
 
 dynamics::VehicleState lane_state(const roadmap::DrivableMap& map, int lane, double s,
                                   double speed) {
@@ -84,8 +88,8 @@ TEST(CurvedWorld, StiSeesBlockedRingLane) {
   // Stopped car 12 m ahead around the arc in the ego's lane.
   auto blocker = lane_state(*map, 0, 22.0, 0.0);
   std::vector<core::ActorForecast> forecasts = {
-      {1, pred.predict(blocker, 0.0, 4.0, 0.25), {4.5, 2.0}}};
-  const auto r = sti.compute(*map, ego, 0.0, forecasts);
+      {1, pred.predict(blocker, 0.0_s, 4.0_s, 0.25_s), {4.5, 2.0}}};
+  const auto r = sti.compute(*map, ego, 0.0_s, forecasts);
   EXPECT_GT(r.volume_empty, 100.0);  // the tube follows the arc
   EXPECT_GT(r.combined, 0.1);
   EXPECT_DOUBLE_EQ(r.per_actor[0].second, r.combined);
@@ -95,7 +99,7 @@ TEST(CurvedWorld, StiZeroOnEmptySCurve) {
   auto map = std::make_shared<roadmap::PolylineRoad>(roadmap::PolylineRoad::s_curve(3, 3.5));
   const core::StiCalculator sti;
   const auto ego = lane_state(*map, 1, 20.0, 8.0);
-  const core::StiResult r = sti.compute(*map, ego, 0.0, {});
+  const core::StiResult r = sti.compute(*map, ego, 0.0_s, {});
   EXPECT_DOUBLE_EQ(r.combined, 0.0);
   EXPECT_GT(r.volume_empty, 100.0);
 }

@@ -1,11 +1,15 @@
 #include "dynamics/cvtr.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 namespace iprism::dynamics {
 namespace {
+
+using namespace iprism::common::literals;
 
 VehicleState state(double x, double y, double heading, double speed) {
   VehicleState s;
@@ -18,18 +22,18 @@ VehicleState state(double x, double y, double heading, double speed) {
 
 TEST(Cvtr, RejectsBadArguments) {
   const CvtrPredictor p;
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, -1.0, 0.1), std::invalid_argument);
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0, 1.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(p.predict(state(0, 0, 0, 1), state(0, 0, 0, 1), 0.0, 0.0, 1.0, 0.1),
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0_s, -1.0_s, 0.1_s), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), 0.0_s, 1.0_s, 0.0_s), std::invalid_argument);
+  EXPECT_THROW(p.predict(state(0, 0, 0, 1), state(0, 0, 0, 1), 0.0_s, 0.0_s, 1.0_s, 0.1_s),
                std::invalid_argument);
 }
 
 TEST(Cvtr, StraightLinePredictionIsExact) {
   const CvtrPredictor p;
-  const Trajectory t = p.predict(state(0, 0, 0, 5), 10.0, 2.0, 0.5);
-  EXPECT_DOUBLE_EQ(t.start_time(), 10.0);
-  EXPECT_DOUBLE_EQ(t.end_time(), 12.0);
-  const VehicleState end = t.at(12.0);
+  const Trajectory t = p.predict(state(0, 0, 0, 5), 10.0_s, 2.0_s, 0.5_s);
+  EXPECT_DOUBLE_EQ(t.start_time().value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.end_time().value(), 12.0);
+  const VehicleState end = t.at(12.0_s);
   EXPECT_NEAR(end.x, 10.0, 1e-12);
   EXPECT_NEAR(end.y, 0.0, 1e-12);
   EXPECT_NEAR(end.speed, 5.0, 1e-12);
@@ -40,8 +44,8 @@ TEST(Cvtr, EstimatesYawRateFromHistory) {
   // Previous heading 0, current 0.1 over 0.1 s -> yaw rate 1 rad/s.
   const VehicleState prev = state(0, 0, 0.0, 5);
   const VehicleState now = state(0.5, 0, 0.1, 5);
-  const Trajectory t = p.predict(prev, now, 0.1, 0.0, 1.0, 0.1);
-  EXPECT_NEAR(t.at(1.0).heading, 0.1 + 1.0, 1e-9);
+  const Trajectory t = p.predict(prev, now, 0.1_s, 0.0_s, 1.0_s, 0.1_s);
+  EXPECT_NEAR(t.at(1.0_s).heading, 0.1 + 1.0, 1e-9);
 }
 
 TEST(Cvtr, ConstantTurnTracesCircle) {
@@ -49,7 +53,7 @@ TEST(Cvtr, ConstantTurnTracesCircle) {
   // Yaw rate 0.5 rad/s at 5 m/s -> radius 10 m.
   const VehicleState prev = state(0, 0, -0.05, 5);
   const VehicleState now = state(0, 0, 0.0, 5);
-  const Trajectory t = p.predict(prev, now, 0.1, 0.0, 4.0, 0.05);
+  const Trajectory t = p.predict(prev, now, 0.1_s, 0.0_s, 4.0_s, 0.05_s);
   // Every predicted point must lie on the radius-10 circle centred (0, 10).
   for (const auto& ts : t.samples()) {
     const double r = std::hypot(ts.state.x - 0.0, ts.state.y - 10.0);
@@ -59,14 +63,14 @@ TEST(Cvtr, ConstantTurnTracesCircle) {
 
 TEST(Cvtr, SampleCountMatchesHorizon) {
   const CvtrPredictor p;
-  const Trajectory t = p.predict(state(0, 0, 0, 1), 0.0, 3.0, 0.25);
+  const Trajectory t = p.predict(state(0, 0, 0, 1), 0.0_s, 3.0_s, 0.25_s);
   EXPECT_EQ(t.size(), 13u);  // 12 steps + initial sample
 }
 
 TEST(Cvtr, StationaryActorStaysPut) {
   const CvtrPredictor p;
-  const Trajectory t = p.predict(state(4, 5, 1.0, 0.0), 0.0, 2.0, 0.5);
-  const VehicleState end = t.at(2.0);
+  const Trajectory t = p.predict(state(4, 5, 1.0, 0.0), 0.0_s, 2.0_s, 0.5_s);
+  const VehicleState end = t.at(2.0_s);
   EXPECT_DOUBLE_EQ(end.x, 4.0);
   EXPECT_DOUBLE_EQ(end.y, 5.0);
 }

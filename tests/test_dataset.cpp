@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "dataset/cases.hpp"
+
+#include "common/units.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/scan.hpp"
 #include "roadmap/straight_road.hpp"
@@ -28,12 +30,12 @@ TEST(TrafficLog, SingleEgoEnforced) {
   LoggedActor a;
   a.id = 0;
   a.is_ego = true;
-  a.trajectory.append(0.0, {});
+  a.trajectory.append(common::Seconds{0.0}, {});
   log.add_actor(std::move(a));
   LoggedActor b;
   b.id = 1;
   b.is_ego = true;
-  b.trajectory.append(0.0, {});
+  b.trajectory.append(common::Seconds{0.0}, {});
   EXPECT_THROW(log.add_actor(std::move(b)), std::invalid_argument);
 }
 

@@ -51,7 +51,7 @@ TEST(Integration, StiRampsToOneAtEveryAccident) {
     if (!r.ego_accident) continue;
     ++accidents;
     const auto scene = r.snapshot_at(r.accident_step);
-    const double v = sti.combined(*scene.map, scene.ego.state, scene.time,
+    const double v = sti.combined(*scene.map, scene.ego.state, common::Seconds{scene.time},
                                   r.ground_truth_forecasts(r.accident_step));
     // At the collision the ego overlaps another footprint: no escape routes.
     EXPECT_DOUBLE_EQ(v, 1.0);

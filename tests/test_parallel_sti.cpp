@@ -52,7 +52,7 @@ TEST(ParallelSti, BitIdenticalToSerialAcrossAllTypologies) {
 
     const core::StiCalculator serial;
     const core::StiResult reference =
-        serial.compute(world.map(), world.ego().state, world.time(), forecasts);
+        serial.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
 
     for (int threads : kThreadCounts) {
       core::ReachTubeParams params;
@@ -60,7 +60,7 @@ TEST(ParallelSti, BitIdenticalToSerialAcrossAllTypologies) {
       const core::StiCalculator parallel(params);
       expect_bit_identical(
           reference,
-          parallel.compute(world.map(), world.ego().state, world.time(), forecasts),
+          parallel.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts),
           threads);
     }
   }
@@ -75,13 +75,13 @@ TEST(ParallelSti, CombinedOnlyBitIdenticalToSerial) {
 
     const core::StiCalculator serial;
     const double reference =
-        serial.combined(world.map(), world.ego().state, world.time(), forecasts);
+        serial.combined(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
     for (int threads : kThreadCounts) {
       core::ReachTubeParams params;
       params.num_threads = threads;
       const core::StiCalculator parallel(params);
       EXPECT_EQ(reference, parallel.combined(world.map(), world.ego().state,
-                                             world.time(), forecasts))
+                                             common::Seconds{world.time()}, forecasts))
           << "num_threads=" << threads;
     }
   }
@@ -97,10 +97,10 @@ TEST(ParallelSti, RepeatedParallelEvaluationsAreStable) {
   params.num_threads = 4;
   const core::StiCalculator sti(params);
   const core::StiResult first =
-      sti.compute(world.map(), world.ego().state, world.time(), forecasts);
+      sti.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
   for (int run = 0; run < 5; ++run) {
     expect_bit_identical(
-        first, sti.compute(world.map(), world.ego().state, world.time(), forecasts),
+        first, sti.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts),
         params.num_threads);
   }
 }
@@ -164,7 +164,7 @@ TEST(TubeCapacityInvariance, TubesBitIdenticalAcrossScratchReserves) {
 
     const core::ReachTubeComputer reference_rt;
     const core::ReachTube reference =
-        reference_rt.compute(world.map(), world.ego().state, world.time(), forecasts);
+        reference_rt.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
 
     for (std::size_t reserve : kScratchReserves) {
       core::ReachTubeParams params;
@@ -172,7 +172,7 @@ TEST(TubeCapacityInvariance, TubesBitIdenticalAcrossScratchReserves) {
       const core::ReachTubeComputer rt(params);
       expect_same_tube(
           reference,
-          rt.compute(world.map(), world.ego().state, world.time(), forecasts), reserve);
+          rt.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts), reserve);
     }
   }
 }
@@ -186,7 +186,7 @@ TEST(TubeCapacityInvariance, StiBitIdenticalAcrossScratchReservesAndThreads) {
 
   const core::StiCalculator serial;
   const core::StiResult reference =
-      serial.compute(world.map(), world.ego().state, world.time(), forecasts);
+      serial.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
 
   for (std::size_t reserve : kScratchReserves) {
     for (int threads : {0, 2, 4}) {
@@ -197,7 +197,7 @@ TEST(TubeCapacityInvariance, StiBitIdenticalAcrossScratchReservesAndThreads) {
       SCOPED_TRACE("scratch_reserve=" + std::to_string(reserve));
       expect_bit_identical(
           reference,
-          sti.compute(world.map(), world.ego().state, world.time(), forecasts),
+          sti.compute(world.map(), world.ego().state, common::Seconds{world.time()}, forecasts),
           threads);
     }
   }

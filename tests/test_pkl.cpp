@@ -1,5 +1,7 @@
 #include "core/pkl.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include <numeric>
@@ -9,6 +11,8 @@
 
 namespace iprism::core {
 namespace {
+
+using namespace iprism::common::literals;
 
 std::shared_ptr<roadmap::StraightRoad> test_map() {
   return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
@@ -32,7 +36,7 @@ ActorForecast actor(int id, double x, double y, double speed) {
   s.x = x;
   s.y = y;
   s.speed = speed;
-  return {id, pred.predict(s, 0.0, 3.0, 0.25), {4.5, 2.0}};
+  return {id, pred.predict(s, 0.0_s, 3.0_s, 0.25_s), {4.5, 2.0}};
 }
 
 TEST(Pkl, CandidateLatticeCoversLanesAndAccels) {

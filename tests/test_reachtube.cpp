@@ -1,5 +1,7 @@
 #include "core/reachtube.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
@@ -8,6 +10,8 @@
 
 namespace iprism::core {
 namespace {
+
+using namespace iprism::common::literals;
 
 std::shared_ptr<roadmap::StraightRoad> test_map() {
   return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
@@ -27,7 +31,7 @@ ActorForecast stationary_actor(int id, double x, double y) {
   s.x = x;
   s.y = y;
   s.speed = 0.0;
-  return {id, pred.predict(s, 0.0, 4.0, 0.25), {4.5, 2.0}};
+  return {id, pred.predict(s, 0.0_s, 4.0_s, 0.25_s), {4.5, 2.0}};
 }
 
 TEST(ReachTubeParams, Validated) {
@@ -45,7 +49,7 @@ TEST(ReachTubeParams, Validated) {
 TEST(ReachTube, EmptyWorldHasPositiveVolume) {
   const ReachTubeComputer rt;
   const auto map = test_map();
-  const ReachTube tube = rt.compute(*map, ego_state(), 0.0, {});
+  const ReachTube tube = rt.compute(*map, ego_state(), 0.0_s, {});
   EXPECT_GT(tube.volume, 0.0);
   EXPECT_FALSE(tube.empty());
   // Slice 0 holds exactly the seed state.
@@ -60,9 +64,9 @@ TEST(ReachTube, VolumeGrowsWithHorizon) {
   ReachTubeParams p_long;
   p_long.horizon = 3.0;
   const double v_short =
-      ReachTubeComputer(p_short).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(p_short).compute(*map, ego_state(), 0.0_s, {}).volume;
   const double v_long =
-      ReachTubeComputer(p_long).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(p_long).compute(*map, ego_state(), 0.0_s, {}).volume;
   EXPECT_GT(v_long, v_short);
 }
 
@@ -80,10 +84,10 @@ TEST(ReachTube, ObstaclesShrinkVolumeStatistically) {
   double sum_with = 0.0;
   for (int trial = 0; trial < 40; ++trial) {
     const auto ego = ego_state(50.0, rng.uniform(2.0, 9.0), rng.uniform(2.0, 12.0));
-    const double v_empty = rt.compute(*map, ego, 0.0, {}).volume;
+    const double v_empty = rt.compute(*map, ego, 0.0_s, {}).volume;
     const std::vector<ActorForecast> forecasts = {
         stationary_actor(1, 50.0 + rng.uniform(-20.0, 40.0), rng.uniform(1.0, 10.0))};
-    const double v_with = rt.compute(*map, ego, 0.0, forecasts).volume;
+    const double v_with = rt.compute(*map, ego, 0.0_s, forecasts).volume;
     sum_empty += v_empty;
     sum_with += v_with;
     ASSERT_LE(v_with, 1.25 * v_empty + 5.0);
@@ -95,12 +99,12 @@ TEST(ReachTube, BlockingWallReducesVolumeSubstantially) {
   const ReachTubeComputer rt;
   const auto map = test_map();
   const auto ego = ego_state();
-  const double v_empty = rt.compute(*map, ego, 0.0, {}).volume;
+  const double v_empty = rt.compute(*map, ego, 0.0_s, {}).volume;
   // Three stopped cars across all lanes 12 m ahead.
   const std::vector<ActorForecast> wall = {stationary_actor(1, 62.0, 1.75),
                                            stationary_actor(2, 62.0, 5.25),
                                            stationary_actor(3, 62.0, 8.75)};
-  const double v_blocked = rt.compute(*map, ego, 0.0, wall).volume;
+  const double v_blocked = rt.compute(*map, ego, 0.0_s, wall).volume;
   EXPECT_LT(v_blocked, 0.55 * v_empty);
 }
 
@@ -108,9 +112,9 @@ TEST(ReachTube, FarAwayActorIsIrrelevant) {
   const ReachTubeComputer rt;
   const auto map = test_map();
   const auto ego = ego_state();
-  const double v_empty = rt.compute(*map, ego, 0.0, {}).volume;
+  const double v_empty = rt.compute(*map, ego, 0.0_s, {}).volume;
   const std::vector<ActorForecast> far = {stationary_actor(1, 400.0, 5.25)};
-  EXPECT_DOUBLE_EQ(rt.compute(*map, ego, 0.0, far).volume, v_empty);
+  EXPECT_DOUBLE_EQ(rt.compute(*map, ego, 0.0_s, far).volume, v_empty);
 }
 
 TEST(ReachTube, CollidingSeedYieldsEmptyTube) {
@@ -118,7 +122,7 @@ TEST(ReachTube, CollidingSeedYieldsEmptyTube) {
   const auto map = test_map();
   const auto ego = ego_state(50.0, 5.25, 8.0);
   const std::vector<ActorForecast> overlapping = {stationary_actor(1, 51.0, 5.25)};
-  const ReachTube tube = rt.compute(*map, ego, 0.0, overlapping);
+  const ReachTube tube = rt.compute(*map, ego, 0.0_s, overlapping);
   EXPECT_TRUE(tube.empty());
   EXPECT_DOUBLE_EQ(tube.volume, 0.0);
 }
@@ -126,7 +130,7 @@ TEST(ReachTube, CollidingSeedYieldsEmptyTube) {
 TEST(ReachTube, OffMapSeedYieldsEmptyTube) {
   const ReachTubeComputer rt;
   const auto map = test_map();
-  const ReachTube tube = rt.compute(*map, ego_state(50.0, 30.0, 8.0), 0.0, {});
+  const ReachTube tube = rt.compute(*map, ego_state(50.0, 30.0, 8.0), 0.0_s, {});
   EXPECT_TRUE(tube.empty());
 }
 
@@ -135,10 +139,10 @@ TEST(ReachTube, ExcludeIdRemovesThatObstacle) {
   const auto map = test_map();
   const auto ego = ego_state();
   const std::vector<ActorForecast> forecasts = {stationary_actor(7, 60.0, 5.25)};
-  const auto obstacles = rt.sample_obstacles(forecasts, 0.0);
+  const auto obstacles = rt.sample_obstacles(forecasts, 0.0_s);
   const double with = rt.compute(*map, ego, obstacles).volume;
-  const double without = rt.compute(*map, ego, obstacles, /*exclude_id=*/7).volume;
-  const double empty = rt.compute(*map, ego, {}, -1).volume;
+  const double without = rt.compute(*map, ego, obstacles, common::ActorId{7}).volume;
+  const double empty = rt.compute(*map, ego, {}, common::ActorId::none()).volume;
   EXPECT_LT(with, without);
   EXPECT_DOUBLE_EQ(without, empty);
 }
@@ -152,7 +156,7 @@ TEST(ReachTube, ObstacleSliceCountValidated) {
   const ReachTubeComputer rt_b(b);
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {stationary_actor(1, 60.0, 5.25)};
-  const auto obstacles = rt_a.sample_obstacles(forecasts, 0.0);
+  const auto obstacles = rt_a.sample_obstacles(forecasts, 0.0_s);
   EXPECT_THROW(rt_b.compute(*map, ego_state(), obstacles), std::invalid_argument);
 }
 
@@ -161,7 +165,7 @@ TEST(ReachTube, DedupBoundsSliceSizes) {
   p.dedup = true;
   const ReachTubeComputer rt(p);
   const auto map = test_map();
-  const ReachTube tube = rt.compute(*map, ego_state(), 0.0, {});
+  const ReachTube tube = rt.compute(*map, ego_state(), 0.0_s, {});
   // With (x, y) cell dedup, each slice cannot exceed the road's cell count
   // within the reachable window; sanity bound: far fewer than the
   // undeduped exponential count (9^slices).
@@ -179,9 +183,9 @@ TEST(ReachTube, UniformSamplingCoversBoundarySet) {
   uniform.uniform_samples = 24;
   const auto map = test_map();
   const double v_boundary =
-      ReachTubeComputer(boundary).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(boundary).compute(*map, ego_state(), 0.0_s, {}).volume;
   const double v_uniform =
-      ReachTubeComputer(uniform).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(uniform).compute(*map, ego_state(), 0.0_s, {}).volume;
   EXPECT_GE(v_uniform, v_boundary);
 }
 
@@ -192,9 +196,9 @@ TEST(ReachTube, PaperBoundarySetExcludesBraking) {
   paper.include_braking_boundary = false;
   const auto map = test_map();
   const double v_full =
-      ReachTubeComputer(with_braking).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(with_braking).compute(*map, ego_state(), 0.0_s, {}).volume;
   const double v_paper =
-      ReachTubeComputer(paper).compute(*map, ego_state(), 0.0, {}).volume;
+      ReachTubeComputer(paper).compute(*map, ego_state(), 0.0_s, {}).volume;
   // The braking-free set reaches fewer near cells.
   EXPECT_LE(v_paper, v_full);
   EXPECT_GT(v_paper, 0.0);
@@ -204,8 +208,8 @@ TEST(ReachTube, DeterministicAcrossCalls) {
   const ReachTubeComputer rt;
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {stationary_actor(1, 65.0, 5.25)};
-  const double v1 = rt.compute(*map, ego_state(), 0.0, forecasts).volume;
-  const double v2 = rt.compute(*map, ego_state(), 0.0, forecasts).volume;
+  const double v1 = rt.compute(*map, ego_state(), 0.0_s, forecasts).volume;
+  const double v2 = rt.compute(*map, ego_state(), 0.0_s, forecasts).volume;
   EXPECT_DOUBLE_EQ(v1, v2);
 }
 

@@ -1,5 +1,7 @@
 #include "eval/runner.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include "agents/lbc.hpp"
@@ -118,7 +120,7 @@ TEST(Runner, GroundTruthForecastsHoldFinalState) {
   const auto forecasts = r.ground_truth_forecasts(0);
   ASSERT_EQ(forecasts.size(), 1u);
   // Query far beyond the recorded horizon: the final state is held.
-  EXPECT_NEAR(forecasts[0].trajectory.at(100.0).x, 400.0, 1e-9);
+  EXPECT_NEAR(forecasts[0].trajectory.at(common::Seconds{100.0}).x, 400.0, 1e-9);
 }
 
 TEST(Runner, RequiresEgo) {

@@ -1,5 +1,7 @@
 #include "eval/series.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include "core/ltfma.hpp"
@@ -35,8 +37,8 @@ EpisodeResult synthetic_accident_episode() {
   ns.speed = 0.0;
   const int steps = 46;  // gap closes 50 m - footprints at 10 m/s
   for (int i = 0; i <= steps; ++i) {
-    ego.trajectory.append(i * 0.1, es);
-    npc.trajectory.append(i * 0.1, ns);
+    ego.trajectory.append(common::Seconds{i * 0.1}, es);
+    npc.trajectory.append(common::Seconds{i * 0.1}, ns);
     es.x += 1.0;
   }
   r.samples = steps + 1;

@@ -1,5 +1,7 @@
 #include "core/sti.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
@@ -8,6 +10,8 @@
 
 namespace iprism::core {
 namespace {
+
+using namespace iprism::common::literals;
 
 std::shared_ptr<roadmap::StraightRoad> test_map() {
   return std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0);
@@ -28,13 +32,13 @@ ActorForecast actor(int id, double x, double y, double speed, double heading = 0
   s.y = y;
   s.speed = speed;
   s.heading = heading;
-  return {id, pred.predict(s, 0.0, 4.0, 0.25), {4.5, 2.0}};
+  return {id, pred.predict(s, 0.0_s, 4.0_s, 0.25_s), {4.5, 2.0}};
 }
 
 TEST(Sti, NoActorsMeansZeroRisk) {
   const StiCalculator sti;
   const auto map = test_map();
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, {});
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, {});
   EXPECT_DOUBLE_EQ(r.combined, 0.0);
   EXPECT_TRUE(r.per_actor.empty());
   EXPECT_DOUBLE_EQ(r.volume_all, r.volume_empty);
@@ -44,7 +48,7 @@ TEST(Sti, StoppedLeadImposesRisk) {
   const StiCalculator sti;
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {actor(1, 62.0, 5.25, 0.0)};
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, forecasts);
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, forecasts);
   EXPECT_GT(r.combined, 0.05);
   ASSERT_EQ(r.per_actor.size(), 1u);
   EXPECT_EQ(r.per_actor[0].first, 1);
@@ -57,7 +61,7 @@ TEST(Sti, SingleActorCounterfactualMatchesCombined) {
   const StiCalculator sti;
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {actor(1, 64.0, 5.25, 2.0)};
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, forecasts);
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, forecasts);
   EXPECT_NEAR(r.per_actor[0].second, r.combined, 1e-12);
 }
 
@@ -65,7 +69,7 @@ TEST(Sti, ActorBehindOnOtherLaneIsZero) {
   const StiCalculator sti;
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {actor(1, 10.0, 1.75, 3.0)};
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, forecasts);
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, forecasts);
   EXPECT_DOUBLE_EQ(r.combined, 0.0);
   EXPECT_DOUBLE_EQ(r.per_actor[0].second, 0.0);
 }
@@ -76,7 +80,7 @@ TEST(Sti, FullBlockadeApproachesOne) {
   // Stopped wall directly ahead across all three lanes, ego fast.
   const std::vector<ActorForecast> wall = {
       actor(1, 58.0, 1.75, 0.0), actor(2, 58.0, 5.25, 0.0), actor(3, 58.0, 8.75, 0.0)};
-  const StiResult r = sti.compute(*map, ego_state(50.0, 5.25, 14.0), 0.0, wall);
+  const StiResult r = sti.compute(*map, ego_state(50.0, 5.25, 14.0), 0.0_s, wall);
   EXPECT_GT(r.combined, 0.6);
 }
 
@@ -84,7 +88,7 @@ TEST(Sti, CollisionStateIsMaximalRisk) {
   const StiCalculator sti;
   const auto map = test_map();
   const std::vector<ActorForecast> overlapping = {actor(1, 52.0, 5.25, 0.0)};
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, overlapping);
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, overlapping);
   EXPECT_DOUBLE_EQ(r.combined, 1.0);
 }
 
@@ -101,7 +105,7 @@ TEST(Sti, ValuesAlwaysInUnitRangeProperty) {
                                 rng.uniform(-0.3, 0.3)));
     }
     const auto ego = ego_state(50.0, rng.uniform(2.0, 9.0), rng.uniform(0.0, 14.0));
-    const StiResult r = sti.compute(*map, ego, 0.0, forecasts);
+    const StiResult r = sti.compute(*map, ego, 0.0_s, forecasts);
     ASSERT_GE(r.combined, 0.0);
     ASSERT_LE(r.combined, 1.0);
     for (const auto& [id, v] : r.per_actor) {
@@ -116,8 +120,8 @@ TEST(Sti, CombinedOnlyAgreesWithFullComputation) {
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {actor(1, 62.0, 5.25, 0.0),
                                                 actor(2, 70.0, 1.75, 4.0)};
-  const StiResult full = sti.compute(*map, ego_state(), 0.0, forecasts);
-  const double fast = sti.combined(*map, ego_state(), 0.0, forecasts);
+  const StiResult full = sti.compute(*map, ego_state(), 0.0_s, forecasts);
+  const double fast = sti.combined(*map, ego_state(), 0.0_s, forecasts);
   EXPECT_DOUBLE_EQ(full.combined, fast);
 }
 
@@ -125,7 +129,7 @@ TEST(Sti, OffRoadEgoReportsZeroSafely) {
   const StiCalculator sti;
   const auto map = test_map();
   const std::vector<ActorForecast> forecasts = {actor(1, 62.0, 5.25, 0.0)};
-  const StiResult r = sti.compute(*map, ego_state(50.0, 40.0, 8.0), 0.0, forecasts);
+  const StiResult r = sti.compute(*map, ego_state(50.0, 40.0, 8.0), 0.0_s, forecasts);
   EXPECT_DOUBLE_EQ(r.combined, 0.0);  // |T^null| == 0: undefined -> 0, no throw
   EXPECT_DOUBLE_EQ(r.volume_empty, 0.0);
 }
@@ -144,7 +148,7 @@ TEST(Sti, SymmetricThreatsScoreEqually) {
   const auto map = test_map();
   const std::vector<ActorForecast> pair = {actor(1, 62.0, 5.25 - 3.5, 2.0),
                                            actor(2, 62.0, 5.25 + 3.5, 2.0)};
-  const StiResult r = sti.compute(*map, ego_state(), 0.0, pair);
+  const StiResult r = sti.compute(*map, ego_state(), 0.0_s, pair);
   ASSERT_EQ(r.per_actor.size(), 2u);
   EXPECT_NEAR(r.per_actor[0].second, r.per_actor[1].second, 0.03);
 }
@@ -161,7 +165,7 @@ TEST(Sti, CombinedAtLeastAsLargeAsBestActor) {
       forecasts.push_back(actor(i, 50.0 + rng.uniform(5.0, 30.0),
                                 rng.uniform(1.5, 9.0), rng.uniform(0.0, 6.0)));
     }
-    const StiResult r = sti.compute(*map, ego_state(), 0.0, forecasts);
+    const StiResult r = sti.compute(*map, ego_state(), 0.0_s, forecasts);
     ASSERT_GE(r.combined, r.max_actor_sti() - 0.05);
   }
 }
@@ -171,8 +175,8 @@ TEST(Sti, NearerThreatScoresHigher) {
   const auto map = test_map();
   const std::vector<ActorForecast> near_f = {actor(1, 60.0, 5.25, 0.0)};
   const std::vector<ActorForecast> far_f = {actor(1, 80.0, 5.25, 0.0)};
-  const auto near_r = sti.compute(*map, ego_state(), 0.0, near_f);
-  const auto far_r = sti.compute(*map, ego_state(), 0.0, far_f);
+  const auto near_r = sti.compute(*map, ego_state(), 0.0_s, near_f);
+  const auto far_r = sti.compute(*map, ego_state(), 0.0_s, far_f);
   EXPECT_GT(near_r.combined, far_r.combined);
 }
 

@@ -1,11 +1,15 @@
 #include "dynamics/trajectory.hpp"
 
+#include "common/units.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 namespace iprism::dynamics {
 namespace {
+
+using namespace iprism::common::literals;
 
 VehicleState state(double x, double y, double heading, double speed) {
   VehicleState s;
@@ -18,25 +22,25 @@ VehicleState state(double x, double y, double heading, double speed) {
 
 TEST(Trajectory, AppendRequiresIncreasingTime) {
   Trajectory t;
-  t.append(0.0, state(0, 0, 0, 1));
-  EXPECT_THROW(t.append(0.0, state(1, 0, 0, 1)), std::invalid_argument);
-  EXPECT_THROW(t.append(-1.0, state(1, 0, 0, 1)), std::invalid_argument);
-  t.append(0.5, state(1, 0, 0, 1));
+  t.append(0.0_s, state(0, 0, 0, 1));
+  EXPECT_THROW(t.append(0.0_s, state(1, 0, 0, 1)), std::invalid_argument);
+  EXPECT_THROW(t.append(-1.0_s, state(1, 0, 0, 1)), std::invalid_argument);
+  t.append(0.5_s, state(1, 0, 0, 1));
   EXPECT_EQ(t.size(), 2u);
 }
 
 TEST(Trajectory, EmptyQueriesThrow) {
   Trajectory t;
-  EXPECT_THROW(t.at(0.0), std::invalid_argument);
+  EXPECT_THROW(t.at(0.0_s), std::invalid_argument);
   EXPECT_THROW(t.start_time(), std::invalid_argument);
   EXPECT_THROW(t.end_time(), std::invalid_argument);
 }
 
 TEST(Trajectory, InterpolatesLinearly) {
   Trajectory t;
-  t.append(0.0, state(0, 0, 0, 2));
-  t.append(1.0, state(10, 2, 0, 4));
-  const VehicleState mid = t.at(0.5);
+  t.append(0.0_s, state(0, 0, 0, 2));
+  t.append(1.0_s, state(10, 2, 0, 4));
+  const VehicleState mid = t.at(0.5_s);
   EXPECT_NEAR(mid.x, 5.0, 1e-12);
   EXPECT_NEAR(mid.y, 1.0, 1e-12);
   EXPECT_NEAR(mid.speed, 3.0, 1e-12);
@@ -44,33 +48,33 @@ TEST(Trajectory, InterpolatesLinearly) {
 
 TEST(Trajectory, HeadingInterpolatesShortestArc) {
   Trajectory t;
-  t.append(0.0, state(0, 0, 3.0, 1));
-  t.append(1.0, state(1, 0, -3.0, 1));  // crosses the pi boundary
-  const double h = t.at(0.5).heading;
+  t.append(0.0_s, state(0, 0, 3.0, 1));
+  t.append(1.0_s, state(1, 0, -3.0, 1));  // crosses the pi boundary
+  const double h = t.at(0.5_s).heading;
   // Shortest path from 3.0 to -3.0 goes through pi, not through 0.
   EXPECT_GT(std::abs(h), 3.0);
 }
 
 TEST(Trajectory, ClampsOutsideRange) {
   Trajectory t;
-  t.append(1.0, state(5, 0, 0, 1));
-  t.append(2.0, state(7, 0, 0, 1));
-  EXPECT_NEAR(t.at(0.0).x, 5.0, 1e-12);   // before start: first state
-  EXPECT_NEAR(t.at(99.0).x, 7.0, 1e-12);  // beyond end: holds last state
+  t.append(1.0_s, state(5, 0, 0, 1));
+  t.append(2.0_s, state(7, 0, 0, 1));
+  EXPECT_NEAR(t.at(0.0_s).x, 5.0, 1e-12);   // before start: first state
+  EXPECT_NEAR(t.at(99.0_s).x, 7.0, 1e-12);  // beyond end: holds last state
 }
 
 TEST(Trajectory, StartEndTimes) {
   Trajectory t;
-  t.append(1.5, state(0, 0, 0, 0));
-  t.append(2.5, state(1, 0, 0, 0));
-  EXPECT_DOUBLE_EQ(t.start_time(), 1.5);
-  EXPECT_DOUBLE_EQ(t.end_time(), 2.5);
+  t.append(1.5_s, state(0, 0, 0, 0));
+  t.append(2.5_s, state(1, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(t.start_time().value(), 1.5);
+  EXPECT_DOUBLE_EQ(t.end_time().value(), 2.5);
 }
 
 TEST(Trajectory, FootprintFollowsState) {
   Trajectory t;
-  t.append(0.0, state(3.0, 4.0, M_PI / 2.0, 1.0));
-  const auto box = t.footprint_at(0.0, {4.0, 2.0});
+  t.append(0.0_s, state(3.0, 4.0, M_PI / 2.0, 1.0));
+  const auto box = t.footprint_at(0.0_s, {4.0, 2.0});
   EXPECT_NEAR(box.center().x, 3.0, 1e-12);
   EXPECT_NEAR(box.center().y, 4.0, 1e-12);
   EXPECT_DOUBLE_EQ(box.half_length(), 2.0);
@@ -80,37 +84,37 @@ TEST(Trajectory, FootprintFollowsState) {
 
 TEST(ExtendConstantVelocity, ContinuesAlongHeading) {
   Trajectory t;
-  t.append(0.0, state(0, 0, 0, 4));
-  t.append(1.0, state(4, 0, 0, 4));
-  extend_with_constant_velocity(t, 2.0, 0.5);
-  EXPECT_DOUBLE_EQ(t.end_time(), 3.0);
-  EXPECT_NEAR(t.at(3.0).x, 12.0, 1e-9);
-  EXPECT_NEAR(t.at(2.0).x, 8.0, 1e-9);
+  t.append(0.0_s, state(0, 0, 0, 4));
+  t.append(1.0_s, state(4, 0, 0, 4));
+  extend_with_constant_velocity(t, 2.0_s, 0.5_s);
+  EXPECT_DOUBLE_EQ(t.end_time().value(), 3.0);
+  EXPECT_NEAR(t.at(3.0_s).x, 12.0, 1e-9);
+  EXPECT_NEAR(t.at(2.0_s).x, 8.0, 1e-9);
 }
 
 TEST(ExtendConstantVelocity, StationaryStaysPut) {
   Trajectory t;
-  t.append(0.0, state(5, 7, 1.0, 0.0));
-  extend_with_constant_velocity(t, 3.0, 0.5);
+  t.append(0.0_s, state(5, 7, 1.0, 0.0));
+  extend_with_constant_velocity(t, 3.0_s, 0.5_s);
   EXPECT_DOUBLE_EQ(t.at(t.end_time()).x, 5.0);
   EXPECT_DOUBLE_EQ(t.at(t.end_time()).y, 7.0);
 }
 
 TEST(ExtendConstantVelocity, RespectsHeading) {
   Trajectory t;
-  t.append(0.0, state(0, 0, M_PI / 2.0, 2.0));
-  extend_with_constant_velocity(t, 1.0, 0.25);
-  EXPECT_NEAR(t.at(1.0).y, 2.0, 1e-9);
-  EXPECT_NEAR(t.at(1.0).x, 0.0, 1e-9);
+  t.append(0.0_s, state(0, 0, M_PI / 2.0, 2.0));
+  extend_with_constant_velocity(t, 1.0_s, 0.25_s);
+  EXPECT_NEAR(t.at(1.0_s).y, 2.0, 1e-9);
+  EXPECT_NEAR(t.at(1.0_s).x, 0.0, 1e-9);
 }
 
 TEST(ExtendConstantVelocity, Validates) {
   Trajectory empty;
-  EXPECT_THROW(extend_with_constant_velocity(empty, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(extend_with_constant_velocity(empty, 1.0_s, 0.5_s), std::invalid_argument);
   Trajectory t;
-  t.append(0.0, state(0, 0, 0, 1));
-  EXPECT_THROW(extend_with_constant_velocity(t, 0.0, 0.5), std::invalid_argument);
-  EXPECT_THROW(extend_with_constant_velocity(t, 1.0, 0.0), std::invalid_argument);
+  t.append(0.0_s, state(0, 0, 0, 1));
+  EXPECT_THROW(extend_with_constant_velocity(t, 0.0_s, 0.5_s), std::invalid_argument);
+  EXPECT_THROW(extend_with_constant_velocity(t, 1.0_s, 0.0_s), std::invalid_argument);
 }
 
 TEST(Footprint, CentersBoxOnPosition) {

@@ -1,0 +1,112 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "dynamics/bicycle.hpp"
+#include "dynamics/state.hpp"
+
+namespace iprism::common {
+namespace {
+
+using namespace literals;
+
+TEST(Units, ConstructionAndValueRoundTrip) {
+  const Seconds t{1.5};
+  EXPECT_DOUBLE_EQ(t.value(), 1.5);
+  EXPECT_DOUBLE_EQ((2.5_s).value(), 2.5);
+  EXPECT_DOUBLE_EQ((3.0_m).value(), 3.0);
+  EXPECT_DOUBLE_EQ((4.0_mps).value(), 4.0);
+  EXPECT_DOUBLE_EQ((0.5_rad).value(), 0.5);
+  EXPECT_DOUBLE_EQ(Seconds{}.value(), 0.0);  // default = zero
+}
+
+TEST(Units, SameDimensionArithmetic) {
+  EXPECT_DOUBLE_EQ((1.0_s + 2.5_s).value(), 3.5);
+  EXPECT_DOUBLE_EQ((2.5_s - 1.0_s).value(), 1.5);
+  EXPECT_DOUBLE_EQ((-(1.5_s)).value(), -1.5);
+  Seconds acc{1.0};
+  acc += 0.5_s;
+  acc -= 0.25_s;
+  EXPECT_DOUBLE_EQ(acc.value(), 1.25);
+}
+
+TEST(Units, DimensionlessScaling) {
+  EXPECT_DOUBLE_EQ((2.0_s * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0 * 2.0_s).value(), 6.0);
+  EXPECT_DOUBLE_EQ((6.0_s / 3.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(6.0_s / 2.0_s, 3.0);  // like / like = dimensionless
+}
+
+TEST(Units, CrossDimensionOps) {
+  EXPECT_DOUBLE_EQ((10.0_mps * 2.0_s).value(), 20.0);  // v * t = d
+  EXPECT_DOUBLE_EQ((2.0_s * 10.0_mps).value(), 20.0);
+  EXPECT_DOUBLE_EQ((20.0_m / 2.0_s).value(), 10.0);    // d / t = v
+  EXPECT_DOUBLE_EQ((20.0_m / 10.0_mps).value(), 2.0);  // d / v = t
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(1.0_s, 2.0_s);
+  EXPECT_GE(2.0_s, 2.0_s);
+  EXPECT_EQ(2.0_s, 2.0_s);
+  EXPECT_NE(1.0_s, 2.0_s);
+}
+
+TEST(Units, ActorIdSentinelAndValidity) {
+  EXPECT_FALSE(ActorId{}.valid());
+  EXPECT_FALSE(ActorId::none().valid());
+  EXPECT_EQ(ActorId{}, ActorId::none());
+  const ActorId a{7};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.value(), 7);
+  EXPECT_NE(a, ActorId::none());
+  EXPECT_EQ(a, ActorId{7});
+}
+
+TEST(Units, SliceIdxIncrementsAndCompares) {
+  SliceIdx s;
+  EXPECT_EQ(s.value(), 0u);
+  ++s;
+  ++s;
+  EXPECT_EQ(s.value(), 2u);
+  EXPECT_LT(SliceIdx{1}, SliceIdx{2});
+}
+
+TEST(Units, ZeroOverheadLayout) {
+  static_assert(sizeof(Seconds) == sizeof(double));
+  static_assert(sizeof(ActorId) == sizeof(int));
+  static_assert(std::is_trivially_copyable_v<MetersPerSec>);
+  // Constant-folds at compile time: the wrapper is free.
+  constexpr Meters d = 10.0_mps * 2.0_s;
+  static_assert(d.value() == 20.0);
+}
+
+TEST(Units, DimensionMixupsDoNotCompile) {
+  // The point of the whole header. Each line below must fail to compile if
+  // uncommented — the bug class (transposed args, seconds-as-metres) dies
+  // at the signature.
+  // Seconds t = 1.0;               // no implicit construction from raw double
+  // Seconds t = 1.0_m;             // metres are not seconds
+  // auto x = 1.0_s + 1.0_m;        // no cross-dimension addition
+  // auto y = 2.0_s * 2.0_s;        // seconds^2 is not a pipeline quantity
+  // double v = 1.0_s;              // no implicit conversion back out
+  // common::ActorId id = 3;        // ids are explicit too
+  SUCCEED();
+}
+
+TEST(Units, TypedSignaturesAcceptOnlyTheirDimension) {
+  // BicycleModel's surface is fully typed; exercising it here pins the API.
+  const dynamics::BicycleModel model(2.7_m, 40.0_mps);
+  EXPECT_DOUBLE_EQ(model.wheelbase().value(), 2.7);
+  EXPECT_DOUBLE_EQ(model.max_speed().value(), 40.0);
+  dynamics::VehicleState s;
+  s.speed = 10.0;
+  const auto out = model.step(s, {0.0, 0.0}, 1.0_s);
+  EXPECT_NEAR(out.x, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.speed_mps().value(), 10.0);
+  EXPECT_DOUBLE_EQ(s.heading_angle().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace iprism::common

@@ -1,0 +1,43 @@
+// Negative fixture for iprism-float-eq.
+//
+// tools/check_tidy_fixtures.sh runs clang-tidy with only this check enabled
+// and asserts the reported warning lines are EXACTLY the lines marked
+// `CHECK-FLAG` — nothing more (false positives) and nothing less (misses).
+// The unmarked functions are the precision half of the contract: integer
+// comparison, ordering operators, and NOLINT'd sites must stay silent.
+
+bool literal_eq(double d) {
+  return d == 1.0;  // CHECK-FLAG
+}
+
+bool literal_ne(float f) {
+  return f != 0.5f;  // CHECK-FLAG
+}
+
+bool converted_int_literal(double d) {
+  // The int literal converts to double, so the comparison is floating.
+  return d == 1;  // CHECK-FLAG
+}
+
+bool variable_eq(double a, double b) {
+  return a == b;  // CHECK-FLAG
+}
+
+template <typename T>
+bool dependent_eq(T a, T b) {
+  // Dependent at parse time; becomes a concrete floating comparison once
+  // T = double below — which is exactly when it is dangerous.
+  return a == b;  // CHECK-FLAG
+}
+bool instantiate_dependent() { return dependent_eq(1.0, 2.0); }
+
+// --- must stay silent ------------------------------------------------------
+
+bool int_eq(int a, int b) { return a == b; }  // exact integer compare is fine
+
+bool ordering_is_fine(double d) { return d < 1.0 || d >= 0.0; }
+
+bool suppressed(double d) {
+  // NOLINTNEXTLINE(iprism-float-eq) exact: clamped-to-zero sentinel intended
+  return d == 0.0;
+}

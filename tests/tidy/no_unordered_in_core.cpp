@@ -1,0 +1,27 @@
+// Negative fixture for iprism-no-unordered-in-core.
+//
+// The real check scopes itself to /src/core/; the harness re-points
+// CorePathRegex at tests/tidy/ via --config so this file stands in for a
+// core TU. tools/check_tidy_fixtures.sh asserts clang-tidy flags exactly
+// the `CHECK-FLAG` lines: std::unordered_* in any spelling (direct, alias,
+// through a typedef), while ordered std::map stays silent.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace iprism::core {
+
+std::unordered_map<int, double> tube_volumes;  // CHECK-FLAG
+std::unordered_set<long> visited_cells;        // CHECK-FLAG
+
+// The alias itself is a use, and so is every mention of it afterwards.
+using ActorIndex = std::unordered_map<std::string, int>;  // CHECK-FLAG
+ActorIndex actors;                                        // CHECK-FLAG
+
+// --- must stay silent ------------------------------------------------------
+
+std::map<int, double> ordered_volumes;  // deterministic iteration: allowed
+
+}  // namespace iprism::core

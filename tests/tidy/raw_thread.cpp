@@ -1,0 +1,26 @@
+// Negative fixture for iprism-raw-thread.
+//
+// tools/check_tidy_fixtures.sh asserts clang-tidy flags exactly the
+// `CHECK-FLAG` lines. Raw std::thread / std::async are banned outside
+// src/common/thread_pool.* — concurrency goes through common::ThreadPool so
+// the serial fallback and determinism contract stay centralized.
+
+#include <future>
+#include <thread>
+
+void spawn_raw_thread() {
+  std::thread worker([] {});  // CHECK-FLAG
+  worker.join();
+}
+
+int spawn_async() {
+  auto fut = std::async([] { return 1; });  // CHECK-FLAG
+  return fut.get();
+}
+
+// --- must stay silent ------------------------------------------------------
+
+void plain_callable() {
+  auto fn = [] { return 2; };
+  (void)fn();
+}

@@ -1,0 +1,24 @@
+// Negative fixture for iprism-rng-discipline.
+//
+// tools/check_tidy_fixtures.sh asserts clang-tidy flags exactly the
+// `CHECK-FLAG` lines. The check bans standard random engines and libc
+// rand()/srand() outside src/common/rng.* — this file is outside, so every
+// use below must fire; the plain-arithmetic function must not.
+
+#include <cstdlib>
+#include <random>
+
+std::mt19937 global_engine;         // CHECK-FLAG
+std::random_device global_seeder;   // CHECK-FLAG
+
+// An alias does not launder the engine: it desugars to the banned template.
+using HiddenEngine = std::minstd_rand;  // CHECK-FLAG
+
+int libc_rand_pair() {
+  std::srand(42);     // CHECK-FLAG
+  return std::rand(); // CHECK-FLAG
+}
+
+// --- must stay silent ------------------------------------------------------
+
+int deterministic_math(int x) { return x * 1103515245 + 12345; }

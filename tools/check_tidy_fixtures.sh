@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Verifies the iprism clang-tidy checks against the negative fixtures in
+# tests/tidy/.
+#
+# Usage: tools/check_tidy_fixtures.sh <libIprismTidyChecks.so>
+#
+# Each fixture `tests/tidy/<check_name>.cpp` (underscores for dashes) is run
+# through clang-tidy with ONLY its iprism-<check-name> check enabled, and the
+# set of reported warning lines must equal the set of lines marked
+# `// CHECK-FLAG` — exactly. A missing diagnostic means the check regressed;
+# an extra one means a false positive crept in. Both fail the test.
+#
+# The no-unordered-in-core fixture re-points the check's CorePathRegex at
+# tests/tidy/ via --config, standing in for a src/core TU.
+#
+# Exit codes: 0 all fixtures match, 1 mismatch or fixture failed to compile,
+# 2 usage/setup error, 77 clang-tidy not installed (ctest SKIP).
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <libIprismTidyChecks.so>" >&2
+  exit 2
+fi
+PLUGIN="$1"
+if [[ ! -f "${PLUGIN}" ]]; then
+  echo "check_tidy_fixtures: plugin '${PLUGIN}' does not exist" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "check_tidy_fixtures: ${TIDY} not found; skipping." >&2
+  exit 77
+fi
+
+FIXTURES=(tests/tidy/*.cpp)
+if [[ ${#FIXTURES[@]} -eq 0 || ! -e "${FIXTURES[0]}" ]]; then
+  echo "check_tidy_fixtures: no fixtures under tests/tidy/" >&2
+  exit 2
+fi
+
+fail=0
+for fixture in "${FIXTURES[@]}"; do
+  check="iprism-$(basename "${fixture}" .cpp | tr '_' '-')"
+
+  # --config replaces any .clang-tidy on disk, so the fixture run is
+  # hermetic: one check, no WarningsAsErrors, explicit scope override where
+  # the check is path-scoped.
+  if [[ "${check}" == "iprism-no-unordered-in-core" ]]; then
+    config="{Checks: '-*,${check}', CheckOptions: [{key: '${check}.CorePathRegex', value: 'tests/tidy/'}]}"
+  else
+    config="{Checks: '-*,${check}'}"
+  fi
+
+  out="$("${TIDY}" --load="${PLUGIN}" --config="${config}" --quiet \
+        "${fixture}" -- -std=c++20 2>&1)" || true
+
+  if grep -q " error: " <<<"${out}"; then
+    echo "FAIL ${fixture}: fixture did not compile cleanly under ${TIDY}:" >&2
+    echo "${out}" >&2
+    fail=1
+    continue
+  fi
+
+  expected="$(grep -n 'CHECK-FLAG' "${fixture}" | cut -d: -f1 | sort -un)"
+  actual="$(grep ": warning: " <<<"${out}" \
+            | grep -F "$(basename "${fixture}")" \
+            | sed -E 's/.*\.cpp:([0-9]+):[0-9]+: warning:.*/\1/' \
+            | sort -un)"
+
+  if [[ "${expected}" != "${actual}" ]]; then
+    echo "FAIL ${fixture} [${check}]:" >&2
+    echo "  expected warning lines: $(tr '\n' ' ' <<<"${expected}")" >&2
+    echo "  actual warning lines:   $(tr '\n' ' ' <<<"${actual}")" >&2
+    echo "--- clang-tidy output ---" >&2
+    echo "${out}" >&2
+    fail=1
+  else
+    n="$(wc -l <<<"${expected}")"
+    echo "ok   ${fixture} [${check}]: ${n} expected diagnostic line(s) matched"
+  fi
+done
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "check_tidy_fixtures: FAILED" >&2
+  exit 1
+fi
+echo "check_tidy_fixtures: all ${#FIXTURES[@]} fixtures match"

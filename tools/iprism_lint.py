@@ -12,40 +12,26 @@ this lint enforces the ones that keep the risk monitor trustworthy:
                     A config struct nobody validates is a config struct whose
                     invalid values travel silently into Algorithm 1.
 
-  rng-discipline    No ``std::rand`` / ``srand`` / ``std::mt19937`` /
-                    ``std::random_device`` outside src/common/rng.*.
-                    Every stochastic component must take an explicit
-                    ``common::Rng`` so experiments replay bit-for-bit.
-
-  thread-discipline No raw ``std::thread`` / ``std::jthread`` / ``std::async``
-                    outside src/common/thread_pool.*. Concurrency goes through
-                    ``common::ThreadPool`` so the serial fallback, exception
-                    propagation, and shutdown-join stay centralized — and so
-                    every parallel call site inherits the determinism
-                    contract (index-owned results, DESIGN.md §8).
-
-  container-discipline
-                    No ``std::unordered_map`` / ``std::unordered_set`` (or
-                    their multi variants) in src/core. Hash-table iteration
-                    order there is observable — it feeds the reach-tube's
-                    surviving-representative selection — and the standard
-                    containers make it depend on bucket count and standard
-                    library. Use ``common::FlatHashGrid`` /
-                    ``common::FlatKeySet`` (src/common/flat_hash.hpp), whose
-                    iteration order is insertion order by construction
-                    (DESIGN.md §9).
-
-  float-eq          No ``==`` / ``!=`` against floating-point literals.
-                    Use ``common::near()`` (src/common/float_eq.hpp) or —
-                    when exact comparison is genuinely meant, e.g. against a
-                    clamped-to-zero sentinel — suppress with a justification.
-
   header-hygiene    Every header under src/ carries ``#pragma once`` and
                     lives in the ``iprism`` namespace.
 
-Suppression: append ``// iprism-lint: allow(<rule>) <one-line justification>``
-to the flagged line (or the line directly above). The justification is
-mandatory — a bare allow() is itself a finding.
+Four former rules now live in the clang-tidy plugin (tools/tidy-plugin/),
+which sees the AST instead of regexes and therefore has no false positives
+on comments, strings, or macro bodies:
+
+  rng-discipline        -> iprism-rng-discipline
+  thread-discipline     -> iprism-raw-thread
+  container-discipline  -> iprism-no-unordered-in-core
+  float-eq              -> iprism-float-eq
+
+Run them via ``tools/run_tidy.sh`` (or the ``tidy`` CMake preset); suppress
+with ``// NOLINTNEXTLINE(iprism-<check>)``. A leftover
+``iprism-lint: allow(<migrated-rule>)`` comment is reported as stale.
+
+Suppression (for the rules still here): append
+``// iprism-lint: allow(<rule>) <one-line justification>`` to the flagged
+line (or the line directly above). The justification is mandatory — a bare
+allow() is itself a finding.
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 """
@@ -55,8 +41,16 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("params-validated", "rng-discipline", "thread-discipline",
-         "container-discipline", "float-eq", "header-hygiene")
+RULES = ("params-validated", "header-hygiene")
+
+# Rules that moved into the clang-tidy plugin (tools/tidy-plugin/). Kept here
+# so stale allow() comments get a pointed message instead of "unknown rule".
+MIGRATED_RULES = {
+    "rng-discipline": "iprism-rng-discipline",
+    "thread-discipline": "iprism-raw-thread",
+    "container-discipline": "iprism-no-unordered-in-core",
+    "float-eq": "iprism-float-eq",
+}
 
 SUPPRESS_RE = re.compile(r"//\s*iprism-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 
@@ -64,18 +58,6 @@ SUPPRESS_RE = re.compile(r"//\s*iprism-lint:\s*allow\(([a-z-]+)\)\s*(.*)")
 # class is owned by that class's constructor checks and named via the outer
 # type's message prefix.
 STRUCT_RE = re.compile(r"^struct\s+(\w+(?:Params|Config))\b", re.MULTILINE)
-
-BANNED_RNG_RE = re.compile(
-    r"std::rand\b|\bsrand\s*\(|std::mt19937|std::random_device|\brand\s*\(\)")
-
-BANNED_THREAD_RE = re.compile(r"std::j?thread\b|std::async\b")
-
-BANNED_CONTAINER_RE = re.compile(r"std::unordered_(?:multi)?(?:map|set)\b")
-
-# `== 0.25` or `0.25 ==` (also !=), excluding <=, >=, and exponents handled
-# by stripping. Applied to code with comments/strings removed.
-FLOAT_EQ_RE = re.compile(
-    r"(?<![<>=!&|+\-*/])[=!]=\s*-?\d+\.\d*|-?\d+\.\d*[fL]?\s*[=!]=(?!=)")
 
 LINE_COMMENT_RE = re.compile(r"//.*")
 BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
@@ -124,6 +106,12 @@ def suppressions(lines):
         if not m:
             continue
         rule, why = m.group(1), m.group(2).strip()
+        if rule in MIGRATED_RULES:
+            bare.append(Finding(
+                "suppression", "?", i,
+                f"stale allow({rule}) — this rule moved to the clang-tidy "
+                f"plugin; use // NOLINTNEXTLINE({MIGRATED_RULES[rule]}) instead"))
+            continue
         if rule not in RULES:
             bare.append(Finding("suppression", "?", i,
                                 f"unknown rule '{rule}' in allow()"))
@@ -156,93 +144,6 @@ def check_params_validated(src, sources):
                     "params-validated", path.relative_to(src.parent), line,
                     f"struct {name} has no IPRISM_CHECK validation "
                     f'(no check message starting with "{name}: ..." found in src/)'))
-    return findings
-
-
-def check_rng_discipline(src, sources):
-    findings = []
-    for path, text in sources:
-        if path.parent.name == "common" and path.stem == "rng":
-            continue
-        code = strip_noncode(text)
-        lines = text.splitlines()
-        sup, _ = suppressions(lines)
-        for i, line in enumerate(code.splitlines(), start=1):
-            m = BANNED_RNG_RE.search(line)
-            if not m:
-                continue
-            if (i, "rng-discipline") in sup:
-                continue
-            findings.append(Finding(
-                "rng-discipline", path.relative_to(src.parent), i,
-                f"'{m.group(0)}' outside src/common/rng.* — take an explicit "
-                f"common::Rng so runs replay deterministically"))
-    return findings
-
-
-def check_thread_discipline(src, sources):
-    findings = []
-    for path, text in sources:
-        if path.parent.name == "common" and path.stem == "thread_pool":
-            continue
-        code = strip_noncode(text)
-        lines = text.splitlines()
-        sup, _ = suppressions(lines)
-        for i, line in enumerate(code.splitlines(), start=1):
-            m = BANNED_THREAD_RE.search(line)
-            if not m:
-                continue
-            if (i, "thread-discipline") in sup:
-                continue
-            findings.append(Finding(
-                "thread-discipline", path.relative_to(src.parent), i,
-                f"'{m.group(0)}' outside src/common/thread_pool.* — use "
-                f"common::ThreadPool / parallel_for_each so parallelism keeps "
-                f"the serial fallback and determinism contract"))
-    return findings
-
-
-def check_container_discipline(src, sources):
-    """src/core must use common::FlatHashGrid, not std::unordered_*."""
-    findings = []
-    for path, text in sources:
-        if "core" not in path.parent.parts:
-            continue
-        code = strip_noncode(text)
-        lines = text.splitlines()
-        sup, _ = suppressions(lines)
-        for i, line in enumerate(code.splitlines(), start=1):
-            m = BANNED_CONTAINER_RE.search(line)
-            if not m:
-                continue
-            if (i, "container-discipline") in sup:
-                continue
-            findings.append(Finding(
-                "container-discipline", path.relative_to(src.parent), i,
-                f"'{m.group(0)}' in src/core — iteration order is observable "
-                f"here; use common::FlatHashGrid / common::FlatKeySet "
-                f"(src/common/flat_hash.hpp) so it is deterministic by "
-                f"construction"))
-    return findings
-
-
-def check_float_eq(src, sources):
-    findings = []
-    for path, text in sources:
-        code = strip_noncode(text)
-        lines = text.splitlines()
-        sup, _ = suppressions(lines)
-        for i, line in enumerate(code.splitlines(), start=1):
-            m = FLOAT_EQ_RE.search(line)
-            if not m:
-                continue
-            if (i, "float-eq") in sup:
-                continue
-            findings.append(Finding(
-                "float-eq", path.relative_to(src.parent), i,
-                f"floating-point equality '{m.group(0).strip()}' — use "
-                f"common::near() from common/float_eq.hpp, or suppress with a "
-                f"justification if exact comparison is intended"))
     return findings
 
 
@@ -291,10 +192,6 @@ def main():
 
     findings = []
     findings += check_params_validated(src, sources)
-    findings += check_rng_discipline(src, sources)
-    findings += check_thread_discipline(src, sources)
-    findings += check_container_discipline(src, sources)
-    findings += check_float_eq(src, sources)
     findings += check_header_hygiene(src, sources)
     findings += check_suppression_quality(src, sources)
 
@@ -304,7 +201,9 @@ def main():
         print(f"iprism_lint: {len(findings)} finding(s) in {len(sources)} files",
               file=sys.stderr)
         return 1
-    print(f"iprism_lint: OK ({len(sources)} files clean)")
+    migrated = ", ".join(f"{k} -> {v}" for k, v in MIGRATED_RULES.items())
+    print(f"iprism_lint: OK ({len(sources)} files clean; "
+          f"rules {', '.join(RULES)}; migrated to clang-tidy: {migrated})")
     return 0
 
 

@@ -1,28 +1,59 @@
 #!/usr/bin/env bash
-# Runs clang-tidy over every translation unit in compile_commands.json.
+# Runs clang-tidy over translation units from compile_commands.json.
 #
-# Usage: tools/run_tidy.sh [build-dir]
+# Usage: tools/run_tidy.sh [--plugin=<libIprismTidyChecks.so>] [--checks=<spec>]
+#                          [build-dir] [path-filter ...]
+#
+#   --plugin=PATH   Load the iprism clang-tidy plugin (built by the `tidy`
+#                   preset) so the iprism-* checks are available.
+#   --checks=SPEC   Passed through as clang-tidy's -checks= (e.g.
+#                   '-*,iprism-*' to run only the project checks).
+#   build-dir       Tree holding compile_commands.json (default build/release,
+#                   falling back to build/).
+#   path-filter     Any further arguments select a subset of TUs: a TU runs
+#                   if its path contains ANY filter substring. This is the
+#                   fast pre-commit path — lint just what you touched:
+#                       tools/run_tidy.sh build src/core/reachtube.cpp
+#                       tools/run_tidy.sh build src/core/ src/dynamics/
 #
 # The build dir must have been configured with CMAKE_EXPORT_COMPILE_COMMANDS
 # (every CMakePresets.json preset sets it). Files outside src/ (tests,
 # benches, examples) are skipped: they link the library and repeat its
 # patterns, so tidying src/ covers the signal without tripling the runtime.
 #
-# Exits 0 when clang-tidy is not installed — the lint job degrades rather
-# than blocking environments (like minimal CI runners or the gcc-only dev
-# container) that lack LLVM. CI installs clang-tidy explicitly, so findings
-# still gate merges there.
+# Exit codes:
+#    0  clean
+#    1  clang-tidy reported findings
+#    2  setup error: compile_commands.json missing or empty, or a path
+#       filter matched no translation units (a filter typo must not pass)
+#   77  clang-tidy binary not installed — ctest reports SKIP, not PASS,
+#       so a misconfigured CI lint job cannot silently go green
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build/release}"
+PLUGIN=""
+CHECKS=""
+POSITIONAL=()
+for arg in "$@"; do
+  case "${arg}" in
+    --plugin=*) PLUGIN="${arg#--plugin=}" ;;
+    --checks=*) CHECKS="${arg#--checks=}" ;;
+    --help|-h)  sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    --*)        echo "run_tidy: unknown option '${arg}'" >&2; exit 2 ;;
+    *)          POSITIONAL+=("${arg}") ;;
+  esac
+done
+
+BUILD_DIR="${POSITIONAL[0]:-build/release}"
+FILTERS=("${POSITIONAL[@]:1}")
+
 if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
   # Fall back to a plain ./build tree (the tier-1 verify command's layout).
-  if [[ -f "build/compile_commands.json" ]]; then
+  if [[ "${BUILD_DIR}" == "build/release" && -f "build/compile_commands.json" ]]; then
     BUILD_DIR="build"
   else
-    echo "run_tidy: no compile_commands.json under ${BUILD_DIR} or build/." >&2
+    echo "run_tidy: no compile_commands.json under ${BUILD_DIR}." >&2
     echo "run_tidy: configure first, e.g.: cmake --preset release" >&2
     exit 2
   fi
@@ -30,24 +61,47 @@ fi
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${TIDY}" >/dev/null 2>&1; then
-  echo "run_tidy: ${TIDY} not found; skipping (install clang-tidy to enable)."
-  exit 0
+  echo "run_tidy: ${TIDY} not found; skipping (install clang-tidy to enable)." >&2
+  exit 77
 fi
 
-mapfile -t FILES < <(python3 - "${BUILD_DIR}" <<'EOF'
+if [[ -n "${PLUGIN}" && ! -f "${PLUGIN}" ]]; then
+  echo "run_tidy: plugin '${PLUGIN}' does not exist (build the tidy preset first)" >&2
+  exit 2
+fi
+
+mapfile -t FILES < <(python3 - "${BUILD_DIR}" ${FILTERS[@]+"${FILTERS[@]}"} <<'EOF'
 import json, sys
-entries = json.load(open(f"{sys.argv[1]}/compile_commands.json"))
+build_dir, filters = sys.argv[1], sys.argv[2:]
+entries = json.load(open(f"{build_dir}/compile_commands.json"))
 seen = set()
 for e in entries:
     f = e["file"]
-    if "/src/" in f and f.endswith(".cpp") and f not in seen:
-        seen.add(f)
-        print(f)
+    if "/src/" not in f or not f.endswith(".cpp") or f in seen:
+        continue
+    if filters and not any(sub in f for sub in filters):
+        continue
+    seen.add(f)
+    print(f)
 EOF
 )
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  if [[ ${#FILTERS[@]} -gt 0 ]]; then
+    echo "run_tidy: no translation units match filter(s): ${FILTERS[*]}" >&2
+  else
+    echo "run_tidy: compile_commands.json in ${BUILD_DIR} lists no src/ TUs" >&2
+    echo "run_tidy: the export is empty or stale — reconfigure the build tree" >&2
+  fi
+  exit 2
+fi
+
+TIDY_ARGS=(-p "${BUILD_DIR}" --quiet)
+[[ -n "${PLUGIN}" ]] && TIDY_ARGS+=("--load=${PLUGIN}")
+[[ -n "${CHECKS}" ]] && TIDY_ARGS+=("--checks=${CHECKS}")
 
 echo "run_tidy: ${#FILES[@]} translation units, build dir ${BUILD_DIR}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 printf '%s\n' "${FILES[@]}" \
-  | xargs -P "${JOBS}" -n 1 "${TIDY}" -p "${BUILD_DIR}" --quiet
+  | xargs -P "${JOBS}" -n 1 "${TIDY}" "${TIDY_ARGS[@]}"
 echo "run_tidy: clean"

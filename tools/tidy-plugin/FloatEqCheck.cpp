@@ -1,0 +1,48 @@
+#include "FloatEqCheck.h"
+
+#include "IprismCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::iprism {
+
+FloatEqCheck::FloatEqCheck(llvm::StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(
+          Options.get("AllowedFilesRegex", "/src/common/float_eq\\.hpp$")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void FloatEqCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void FloatEqCheck::registerMatchers(MatchFinder *Finder) {
+  // Builtin ==/!= with a floating operand. Implicit conversions count: in
+  // `d == 1` the literal is converted to double, and the comparison is a
+  // floating comparison. Template bodies are matched through their
+  // instantiations (a dependent `a == b` becomes a concrete floating
+  // comparison once T = double), which is exactly when it is dangerous.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("==", "!="),
+                     hasEitherOperand(expr(hasType(realFloatingPointType()))))
+          .bind("cmp"),
+      this);
+}
+
+void FloatEqCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cmp = Result.Nodes.getNodeAs<BinaryOperator>("cmp");
+  if (Cmp == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Cmp->getOperatorLoc();
+  if (!shouldReport(SM, Loc, AllowedFiles))
+    return;
+  diag(Loc,
+       "exact floating-point %0 comparison: use common::near() "
+       "(src/common/float_eq.hpp), or NOLINT(iprism-float-eq) with a "
+       "justification when exact comparison is intended")
+      << Cmp->getOpcodeStr();
+}
+
+} // namespace clang::tidy::iprism

@@ -1,0 +1,47 @@
+// iprism-float-eq
+//
+// Flags ==/!= where either operand is of floating-point type, anywhere
+// outside src/common/float_eq.hpp. Exact floating comparison is almost
+// always a bug in the risk pipeline (accumulated STI ratios, integrated
+// states); use common::near() — or, where exact comparison is genuinely
+// meant (clamped-to-zero sentinels), suppress with
+// NOLINT(iprism-float-eq) plus a justification.
+//
+// Strictly stronger than the regex rule it replaces, which only saw
+// comparisons against floating *literals*: this check sees
+// variable-vs-variable comparisons, comparisons hidden behind typedefs,
+// and comparisons in templates once they are instantiated with a
+// floating-point type.
+//
+// Options:
+//   AllowedFilesRegex — files exempt from the ban
+//                       (default: /src/common/float_eq\.hpp$).
+#ifndef IPRISM_TIDY_PLUGIN_FLOAT_EQ_CHECK_H
+#define IPRISM_TIDY_PLUGIN_FLOAT_EQ_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+#include <string>
+
+namespace clang::tidy::iprism {
+
+class FloatEqCheck : public ClangTidyCheck {
+public:
+  FloatEqCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_FLOAT_EQ_CHECK_H

@@ -1,0 +1,49 @@
+// Shared helpers for the iprism clang-tidy checks.
+//
+// Every check in this plugin is a *scoped* ban: a construct is forbidden
+// except inside the one file (or directory) that owns the abstraction —
+// std::thread belongs to thread_pool.*, raw engines to rng.*, and so on.
+// The scope is expressed as a POSIX ERE matched against the (expansion)
+// file path of the offending location, overridable per check via the
+// `AllowedFilesRegex` / `CorePathRegex` options so the fixture harness can
+// re-point it at tests/tidy/.
+#ifndef IPRISM_TIDY_PLUGIN_IPRISM_CHECK_COMMON_H
+#define IPRISM_TIDY_PLUGIN_IPRISM_CHECK_COMMON_H
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::iprism {
+
+/// True when `Loc` (after macro expansion) falls in a file whose path
+/// matches `PathRegex`. Invalid locations and system headers never match.
+inline bool locationInFilesMatching(const SourceManager &SM, SourceLocation Loc,
+                                    const llvm::Regex &PathRegex) {
+  if (Loc.isInvalid())
+    return false;
+  const SourceLocation File = SM.getExpansionLoc(Loc);
+  if (SM.isInSystemHeader(File))
+    return false;
+  const llvm::StringRef Name = SM.getFilename(File);
+  return !Name.empty() && PathRegex.match(Name);
+}
+
+/// True when the location should be reported: it is valid, not in a system
+/// header, and not inside the allowed (owning) files.
+inline bool shouldReport(const SourceManager &SM, SourceLocation Loc,
+                         const llvm::Regex &AllowedFiles) {
+  if (Loc.isInvalid())
+    return false;
+  const SourceLocation File = SM.getExpansionLoc(Loc);
+  if (SM.isInSystemHeader(File))
+    return false;
+  if (SM.getFilename(File).empty())
+    return false;
+  return !locationInFilesMatching(SM, Loc, AllowedFiles);
+}
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_IPRISM_CHECK_COMMON_H

@@ -1,0 +1,62 @@
+#include "NoUnorderedInCoreCheck.h"
+
+#include "IprismCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::iprism {
+
+NoUnorderedInCoreCheck::NoUnorderedInCoreCheck(llvm::StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      CorePathRegex(Options.get("CorePathRegex", "/src/core/")),
+      CorePath(CorePathRegex) {}
+
+void NoUnorderedInCoreCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "CorePathRegex", CorePathRegex);
+}
+
+void NoUnorderedInCoreCheck::registerMatchers(MatchFinder *Finder) {
+  // Matching every written mention of a type whose *canonical* form is a
+  // std::unordered_* specialization catches direct uses, aliases, typedefs,
+  // and dependent uses once instantiated.
+  const auto UnorderedDecl = classTemplateSpecializationDecl(hasAnyName(
+      "::std::unordered_map", "::std::unordered_set", "::std::unordered_multimap",
+      "::std::unordered_multiset"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                  recordType(hasDeclaration(UnorderedDecl))))))
+          .bind("use"),
+      this);
+  // Template-id mentions without a desugarable RecordType yet (e.g. the
+  // defining alias itself) still name the template directly.
+  Finder->addMatcher(
+      typeAliasDecl(hasType(qualType(hasUnqualifiedDesugaredType(
+                        recordType(hasDeclaration(UnorderedDecl))))))
+          .bind("alias"),
+      this);
+}
+
+void NoUnorderedInCoreCheck::check(const MatchFinder::MatchResult &Result) {
+  SourceLocation Loc;
+  if (const auto *Use = Result.Nodes.getNodeAs<TypeLoc>("use"))
+    Loc = Use->getBeginLoc();
+  else if (const auto *Alias = Result.Nodes.getNodeAs<TypeAliasDecl>("alias"))
+    Loc = Alias->getLocation();
+  if (Loc.isInvalid())
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (SM.isInSystemHeader(SM.getExpansionLoc(Loc)))
+    return;
+  if (!locationInFilesMatching(SM, Loc, CorePath))
+    return;
+  diag(Loc,
+       "std::unordered_* is banned in src/core: its iteration order is "
+       "observable here (it feeds surviving-representative selection) and "
+       "depends on bucket count and standard library; use "
+       "common::FlatHashGrid / common::FlatKeySet (src/common/flat_hash.hpp) "
+       "whose order is insertion order by construction (DESIGN.md §9)");
+}
+
+} // namespace clang::tidy::iprism

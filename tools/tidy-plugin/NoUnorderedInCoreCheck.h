@@ -1,0 +1,45 @@
+// iprism-no-unordered-in-core
+//
+// Bans std::unordered_{map,set,multimap,multiset} in src/core. Hash-table
+// iteration order there is observable — it feeds the reach-tube's
+// surviving-representative selection — and the standard containers make it
+// depend on bucket count and standard library. Use common::FlatHashGrid /
+// common::FlatKeySet (src/common/flat_hash.hpp), whose iteration order is
+// insertion order by construction (DESIGN.md §9).
+//
+// Unlike the regex rule this replaces, the match is on the *desugared* type,
+// so `using Cache = std::unordered_map<...>` smuggled in through an alias or
+// typedef (even one declared outside src/core) is still caught at the point
+// of use.
+//
+// Options:
+//   CorePathRegex — files the ban applies to (default: /src/core/).
+#ifndef IPRISM_TIDY_PLUGIN_NO_UNORDERED_IN_CORE_CHECK_H
+#define IPRISM_TIDY_PLUGIN_NO_UNORDERED_IN_CORE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+#include <string>
+
+namespace clang::tidy::iprism {
+
+class NoUnorderedInCoreCheck : public ClangTidyCheck {
+public:
+  NoUnorderedInCoreCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string CorePathRegex;
+  llvm::Regex CorePath;
+};
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_NO_UNORDERED_IN_CORE_CHECK_H

@@ -1,0 +1,55 @@
+#include "RawThreadCheck.h"
+
+#include "IprismCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::iprism {
+
+RawThreadCheck::RawThreadCheck(llvm::StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(
+          Options.get("AllowedFilesRegex", "/src/common/thread_pool\\.(hpp|cpp)$")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void RawThreadCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void RawThreadCheck::registerMatchers(MatchFinder *Finder) {
+  const auto ThreadDecl =
+      cxxRecordDecl(hasAnyName("::std::thread", "::std::jthread"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                  recordType(hasDeclaration(ThreadDecl))))))
+          .bind("thread"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("::std::async")))).bind("async"),
+      this);
+}
+
+void RawThreadCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *Thread = Result.Nodes.getNodeAs<TypeLoc>("thread")) {
+    if (!shouldReport(SM, Thread->getBeginLoc(), AllowedFiles))
+      return;
+    diag(Thread->getBeginLoc(),
+         "raw std::thread/std::jthread outside src/common/thread_pool.*: use "
+         "common::ThreadPool / parallel_for_each so parallelism keeps the "
+         "serial fallback, exception propagation, and determinism contract "
+         "(DESIGN.md §8)");
+    return;
+  }
+  if (const auto *Async = Result.Nodes.getNodeAs<CallExpr>("async")) {
+    if (!shouldReport(SM, Async->getBeginLoc(), AllowedFiles))
+      return;
+    diag(Async->getBeginLoc(),
+         "std::async outside src/common/thread_pool.*: use common::ThreadPool "
+         "/ parallel_for_each so parallelism keeps the serial fallback, "
+         "exception propagation, and determinism contract (DESIGN.md §8)");
+  }
+}
+
+} // namespace clang::tidy::iprism

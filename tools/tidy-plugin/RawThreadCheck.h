@@ -1,0 +1,43 @@
+// iprism-raw-thread
+//
+// Bans std::thread / std::jthread and std::async outside
+// src/common/thread_pool.*. Concurrency goes through common::ThreadPool /
+// common::parallel_for_each so the serial fallback, exception propagation,
+// shutdown-join, and the determinism contract (index-owned results,
+// DESIGN.md §8) stay centralized.
+//
+// Matching the desugared type catches thread members hidden behind aliases
+// and typedefs that the regex rule this replaces could not see.
+//
+// Options:
+//   AllowedFilesRegex — files exempt from the ban
+//                       (default: /src/common/thread_pool\.(hpp|cpp)$).
+#ifndef IPRISM_TIDY_PLUGIN_RAW_THREAD_CHECK_H
+#define IPRISM_TIDY_PLUGIN_RAW_THREAD_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+#include <string>
+
+namespace clang::tidy::iprism {
+
+class RawThreadCheck : public ClangTidyCheck {
+public:
+  RawThreadCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_RAW_THREAD_CHECK_H

@@ -1,0 +1,63 @@
+#include "RngDisciplineCheck.h"
+
+#include "IprismCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::iprism {
+
+RngDisciplineCheck::RngDisciplineCheck(llvm::StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFilesRegex(
+          Options.get("AllowedFilesRegex", "/src/common/rng\\.(hpp|cpp)$")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void RngDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void RngDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  // Every standard engine template plus std::random_device. Engine aliases
+  // (std::mt19937, std::minstd_rand, ...) desugar to specializations of
+  // these templates, so matching the canonical type catches them all.
+  const auto BannedRngDecl = cxxRecordDecl(hasAnyName(
+      "::std::random_device", "::std::mersenne_twister_engine",
+      "::std::linear_congruential_engine", "::std::subtract_with_carry_engine",
+      "::std::discard_block_engine", "::std::independent_bits_engine",
+      "::std::shuffle_order_engine"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                  recordType(hasDeclaration(BannedRngDecl))))))
+          .bind("engine"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand", "::std::rand",
+                                              "::std::srand"))))
+          .bind("libc"),
+      this);
+}
+
+void RngDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *Engine = Result.Nodes.getNodeAs<TypeLoc>("engine")) {
+    if (!shouldReport(SM, Engine->getBeginLoc(), AllowedFiles))
+      return;
+    diag(Engine->getBeginLoc(),
+         "standard random engine / std::random_device outside "
+         "src/common/rng.*: take an explicit common::Rng so runs replay "
+         "deterministically from a seed (DESIGN.md §7)");
+    return;
+  }
+  if (const auto *Libc = Result.Nodes.getNodeAs<CallExpr>("libc")) {
+    if (!shouldReport(SM, Libc->getBeginLoc(), AllowedFiles))
+      return;
+    diag(Libc->getBeginLoc(),
+         "rand()/srand() has hidden global state: take an explicit "
+         "common::Rng so runs replay deterministically from a seed "
+         "(DESIGN.md §7)");
+  }
+}
+
+} // namespace clang::tidy::iprism

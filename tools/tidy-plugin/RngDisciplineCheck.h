@@ -1,0 +1,44 @@
+// iprism-rng-discipline
+//
+// Flags any std::random_device, rand()/srand(), or standard-library random
+// engine construction outside src/common/rng.*. Every stochastic component
+// must take an explicit common::Rng so experiments replay bit-for-bit from
+// a seed (DESIGN.md §7).
+//
+// The regex rule this replaces only knew the spellings `std::mt19937` and
+// `std::random_device`; matching the desugared type catches every engine
+// alias (mt19937_64, minstd_rand, ranlux48, knuth_b, ...) and any local
+// typedef of them.
+//
+// Options:
+//   AllowedFilesRegex — files exempt from the ban
+//                       (default: /src/common/rng\.(hpp|cpp)$).
+#ifndef IPRISM_TIDY_PLUGIN_RNG_DISCIPLINE_CHECK_H
+#define IPRISM_TIDY_PLUGIN_RNG_DISCIPLINE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+#include <string>
+
+namespace clang::tidy::iprism {
+
+class RngDisciplineCheck : public ClangTidyCheck {
+public:
+  RngDisciplineCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_RNG_DISCIPLINE_CHECK_H

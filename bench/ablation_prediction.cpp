@@ -90,6 +90,12 @@ int main(int argc, char** argv) {
         ca_err.push_back(std::abs(with_ca - truth));
       }
     }
+    if (cvtr_err.empty()) {
+      // No episodes sampled (e.g. --n=0): there is no p95 of nothing, and
+      // common::percentile now rejects empty input rather than feigning 0.
+      table.add_row({std::string(scenario::typology_name(t)), "-", "-", "-", "-", "0"});
+      continue;
+    }
     table.add_row({std::string(scenario::typology_name(t)),
                    common::Table::num(common::mean_of(cvtr_err), 3),
                    common::Table::num(common::percentile(cvtr_err, 95), 3),

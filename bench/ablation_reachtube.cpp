@@ -8,7 +8,6 @@
 // Evaluates each configuration on the same fixed set of scenes (snapshots
 // drawn from baseline episodes of every typology) and reports the mean
 // absolute STI difference from the default configuration and the speedup.
-#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -108,7 +107,7 @@ int main(int argc, char** argv) {
     const core::StiCalculator sti(config.params);
     common::RunningStat value;
     common::RunningStat diff;
-    const auto start = std::chrono::steady_clock::now();
+    const bench::WallTimer timer;
     for (std::size_t i = 0; i < scenes.size(); ++i) {
       const Scene& s = scenes[i];
       const double v =
@@ -116,10 +115,7 @@ int main(int argc, char** argv) {
       value.add(v);
       diff.add(std::abs(v - reference[i]));
     }
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count() /
-                      static_cast<double>(scenes.size());
+    const double ms = timer.elapsed_ms() / static_cast<double>(scenes.size());
     table.add_row({config.name, common::Table::num(value.mean(), 3),
                    common::Table::num(diff.mean(), 3), common::Table::num(ms, 2)});
   }

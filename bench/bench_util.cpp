@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -8,6 +9,8 @@
 #include <string_view>
 
 #include "common/check.hpp"
+#include "core/monitor.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_pool.hpp"
 #include "common/stats.hpp"
 #include "eval/pkl_training.hpp"
@@ -66,6 +69,53 @@ void require_release_guard(int argc, const char* const* argv) {
   }
 }
 
+void WallTimer::restart() { start_ns_ = common::telemetry::trace_now_ns(); }
+
+double WallTimer::elapsed_ms() const {
+  return static_cast<double>(common::telemetry::trace_now_ns() - start_ns_) / 1e6;
+}
+
+void maybe_write_telemetry(const common::CliArgs& args,
+                           const scenario::ScenarioFactory& factory) {
+  if (args.get_string("telemetry", "").empty()) return;
+  // Streaming-monitor profile: the trace should show the full pipeline
+  // under realistic monitor traffic, whatever the bench itself computes.
+  // At least two pool threads so thread-pool spans are present even when
+  // the bench ran with --threads=0.
+  core::RiskMonitorParams params;
+  params.tube.num_threads = std::max(args.get_int("threads", 0), 2);
+  core::RiskMonitor monitor(params);
+  const auto suite =
+      scenario::generate_suite(factory, scenario::kAllTypologies[0], 2, kSuiteSeed);
+  for (const auto& spec : suite.specs) {
+    sim::World world = factory.build(spec);
+    agents::LbcAgent agent;
+    const int max_steps = static_cast<int>(10.0 / world.dt());
+    for (int step = 0; step < max_steps; ++step) {
+      monitor.update(world);
+      world.step(agent.act(world));
+      if (world.ego_collided()) break;
+    }
+  }
+  maybe_write_telemetry(args);
+}
+
+void maybe_write_telemetry(const common::CliArgs& args) {
+  const std::string path = args.get_string("telemetry", "");
+  if (path.empty()) return;
+#if !IPRISM_TELEMETRY_ENABLED
+  std::cerr << "--telemetry=" << path
+            << ": this build compiled telemetry out (IPRISM_ENABLE_TELEMETRY=OFF); "
+               "the trace will contain no spans or metrics.\n";
+#endif
+  if (common::telemetry::MetricsRegistry::instance().write_chrome_trace_file(path)) {
+    std::cout << "telemetry written to " << path
+              << " (load in Chrome: about://tracing or ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "--telemetry=" << path << ": could not open file for writing\n";
+  }
+}
+
 int strip_require_release_flag(int argc, char** argv) {
   int out = 0;
   for (int i = 0; i < argc; ++i) {
@@ -116,6 +166,7 @@ SuiteOutcome run_suite(const scenario::ScenarioFactory& factory,
   std::optional<common::ThreadPool> pool;
   if (num_threads > 0) pool.emplace(static_cast<std::size_t>(num_threads));
   common::parallel_for_each(pool ? &*pool : nullptr, specs.size(), [&](std::size_t i) {
+    IPRISM_SCOPED_TIMER("bench.episode", "bench");
     auto driving = agent();
     std::unique_ptr<agents::MitigationController> overlay;
     if (controller) overlay = controller();

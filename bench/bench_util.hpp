@@ -5,6 +5,7 @@
 // PKL planner fitting.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -13,6 +14,7 @@
 
 #include "agents/agent.hpp"
 #include "agents/lbc.hpp"
+#include "common/cli.hpp"
 #include "agents/rip.hpp"
 #include "agents/ttc_aca.hpp"
 #include "core/pkl.hpp"
@@ -35,6 +37,35 @@ ControllerMaker smc_maker(const rl::Mlp& policy);
 
 /// Shared default evaluation seed so every bench sees the same suites.
 inline constexpr std::uint64_t kSuiteSeed = 20240624;
+
+/// Wall-clock stopwatch for bench table reporting. Reads the telemetry
+/// clock (common::telemetry::trace_now_ns) so steady_clock stays confined
+/// to src/common/telemetry — the telemetry-discipline lint rule rejects raw
+/// std::chrono::*_clock::now() timing anywhere else in src/ and bench/.
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+  void restart();
+  double elapsed_ms() const;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Writes the process's telemetry (Chrome about://tracing JSON + metric
+/// summaries) to the path given by `--telemetry=<path>`, if present. No-op
+/// without the flag. Call at the end of a bench main(); prints where the
+/// trace went (or a warning when the build compiled telemetry out).
+void maybe_write_telemetry(const common::CliArgs& args);
+
+/// Same, but first streams a short RiskMonitor profiling pass (a couple of
+/// LBC-driven episodes with monitor.update per tick, STI fanned over a
+/// small pool) so the exported trace always carries reachtube/STI/monitor/
+/// thread-pool spans — even from benches whose tables never touch STI
+/// (Table 1 is baseline accident rates only). Runs only when the flag is
+/// set and only after the tables printed; experiment output is unchanged.
+void maybe_write_telemetry(const common::CliArgs& args,
+                           const scenario::ScenarioFactory& factory);
 
 /// True when this binary is a trustworthy timing build: NDEBUG set, no
 /// sanitizer instrumentation, no IPRISM_ENABLE_DCHECKS. The sanitizer

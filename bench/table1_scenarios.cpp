@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nPaper reference (per 1000): ghost cut-in 519, lead cut-in 170, lead\n"
                "slowdown 118, front accident 0 (810 valid of 1000), rear-end 770.\n";
+  bench::maybe_write_telemetry(args, factory);
   return 0;
 }

@@ -91,5 +91,6 @@ int main(int argc, char** argv) {
       "\nPaper reference (CA% per ghost/lead cut-in/slowdown): LBC+iPrism 49/98/87,\n"
       "ablation 1/2/86, TTC-ACA 0/0/92, RIP+iPrism 86/61/71; rear-end extension:\n"
       "iPrism prevents 37% (282/770) where ACA and RIP are ineffective.\n";
+  bench::maybe_write_telemetry(args, factory);
   return 0;
 }

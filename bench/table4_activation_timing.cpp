@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper reference (lead time of iPrism over ACA): ghost cut-in 0.57 s,\n"
                "lead cut-in 3.73 s, lead slowdown 1.32 s — iPrism intervenes earlier\n"
                "everywhere (lower activation time is better).\n";
+  bench::maybe_write_telemetry(args, factory);
   return 0;
 }

@@ -30,7 +30,9 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double q) {
   IPRISM_CHECK(q >= 0.0 && q <= 100.0, "percentile: q must be in [0, 100]");
-  if (values.empty()) return 0.0;
+  IPRISM_CHECK(!values.empty(),
+               "percentile: empty input has no percentiles (a silent 0.0 is "
+               "indistinguishable from a real p=0 — guard at the call site)");
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double pos = q / 100.0 * static_cast<double>(values.size() - 1);

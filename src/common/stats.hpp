@@ -30,7 +30,9 @@ class RunningStat {
 };
 
 /// Percentile with linear interpolation between order statistics.
-/// `q` in [0, 100]. Returns 0 for an empty input. Copies + sorts.
+/// `q` in [0, 100]. Checked: the input must be non-empty (an empty set has
+/// no percentiles; callers that can see empty data decide what 'no data'
+/// means for them instead of inheriting a silent 0.0). Copies + sorts.
 double percentile(std::vector<double> values, double q);
 
 /// Mean of a vector; 0 for empty input.

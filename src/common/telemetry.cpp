@@ -1,0 +1,371 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace iprism::common::telemetry {
+namespace {
+
+// The trace epoch is the first clock read, so trace timestamps start near
+// zero and Chrome's viewer opens at the interesting part instead of hours
+// of dead time since boot.
+std::uint64_t steady_ns_raw() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// JSON string escaping for metric names (names are identifiers in practice,
+// but the exporter must not be able to emit malformed JSON).
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';  // control chars never appear in metric names
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  static const std::uint64_t epoch = steady_ns_raw();
+  return steady_ns_raw() - epoch;
+}
+
+// --- Histogram -------------------------------------------------------------
+//
+// Bucket layout: 4 linear sub-buckets per power-of-two range ("log-linear",
+// the HdrHistogram trick at minimal resolution). For a value v with
+// bit_width w >= 3, the bucket is 4*(w-3) + the top-two-bits-after-the-MSB
+// offset; values 0..7 map to buckets 0..7 exactly. Worst-case relative
+// error of the bucket midpoint is 12.5%, plenty for p50/p95/p99 latencies.
+
+std::size_t Histogram::bucket_of(std::uint64_t ns) {
+  if (ns < 8) {
+    return static_cast<std::size_t>(ns);
+  }
+  const int w = std::bit_width(ns);           // >= 4
+  const int shift = w - 3;                    // bring top 3 bits down
+  const auto top3 = static_cast<std::size_t>(ns >> shift);  // in [4, 8)
+  const auto bucket = static_cast<std::size_t>(w - 3) * 4 + (top3 - 4) + 4;
+  return std::min(bucket, kBucketCount - 1);
+}
+
+std::uint64_t Histogram::bucket_mid(std::size_t bucket) {
+  if (bucket < 8) {
+    return bucket;
+  }
+  const std::size_t idx = bucket - 4;         // undo the +4 offset
+  const int w = static_cast<int>(idx / 4) + 3;
+  const std::uint64_t sub = idx % 4;
+  const std::uint64_t lo = (std::uint64_t{4} + sub) << (w - 3);
+  const std::uint64_t width = std::uint64_t{1} << (w - 3);
+  return lo + width / 2;
+}
+
+void Histogram::record(std::uint64_t ns) {
+  buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  // min/max via CAS loops: contention is rare (hot-path records mostly
+  // leave min/max untouched after warm-up) and the loop is wait-free in
+  // the common no-update case.
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur && !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur && !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::min() const {
+  const std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+std::uint64_t Histogram::percentile_ns(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  // Rank of the target observation (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(clamped / 100.0 * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBucketCount; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return bucket_mid(b);
+    }
+  }
+  return max();  // counts raced upward mid-walk; max is the safe answer
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --- TraceRing -------------------------------------------------------------
+
+std::uint64_t TraceRing::snapshot(TraceEvent* out, std::size_t capacity) const {
+  const MutexLock lock(mutex_);
+  const std::uint64_t total = head_;
+  const std::size_t retained =
+      static_cast<std::size_t>(std::min<std::uint64_t>(total, kCapacity));
+  const std::size_t n = std::min(retained, capacity);
+  // Oldest retained event sits at head_ % kCapacity once the ring has
+  // wrapped; before that the ring is a plain array starting at 0.
+  const std::size_t start =
+      total > kCapacity ? static_cast<std::size_t>(total % kCapacity) : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = events_[(start + i) % kCapacity];
+  }
+  return total;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaky singleton: never destroyed, so metric references cached in
+  // function-local statics and thread_local ring pointers stay valid for
+  // the whole process lifetime, including static-destruction order.
+  static MetricsRegistry* inst = new MetricsRegistry();
+  return *inst;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const MutexLock lock(mutex_);
+  for (auto& e : counters_) {
+    if (e.name == name) {
+      return e.value;
+    }
+  }
+  // emplace + assign the name: the Named* structs hold atomics, so they are
+  // neither copyable nor movable; deque::emplace_back constructs in place
+  // and never relocates existing elements.
+  counters_.emplace_back();
+  counters_.back().name = std::string(name);
+  return counters_.back().value;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const MutexLock lock(mutex_);
+  for (auto& e : gauges_) {
+    if (e.name == name) {
+      return e.value;
+    }
+  }
+  gauges_.emplace_back();
+  gauges_.back().name = std::string(name);
+  return gauges_.back().value;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const MutexLock lock(mutex_);
+  for (auto& e : histograms_) {
+    if (e.name == name) {
+      return e.value;
+    }
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = std::string(name);
+  return histograms_.back().value;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  for (const auto& e : counters_) {
+    if (e.name == name) {
+      return &e.value;
+    }
+  }
+  return nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  for (const auto& e : gauges_) {
+    if (e.name == name) {
+      return &e.value;
+    }
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const MutexLock lock(mutex_);
+  for (const auto& e : histograms_) {
+    if (e.name == name) {
+      return &e.value;
+    }
+  }
+  return nullptr;
+}
+
+TraceRing& MetricsRegistry::this_thread_ring() {
+  thread_local TraceRing* ring = nullptr;
+  if (ring == nullptr) {
+    const MutexLock lock(mutex_);
+    rings_.emplace_back(static_cast<std::uint32_t>(rings_.size()));
+    ring = &rings_.back();
+  }
+  return *ring;
+}
+
+void MetricsRegistry::write_chrome_trace(std::ostream& os) const {
+  // Build the JSON in a string first so a single stream write emits the
+  // whole document (cheap atomicity against interleaved logging).
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\":[";
+
+  {
+    // Snapshot ring contents under the registry lock (ring count is
+    // guarded), then each ring's own lock inside snapshot().
+    const MutexLock lock(mutex_);
+    bool first = true;
+    std::vector<TraceEvent> events(TraceRing::kCapacity);
+    for (const auto& ring : rings_) {
+      const std::uint64_t total = ring.snapshot(events.data(), events.size());
+      const std::size_t retained =
+          static_cast<std::size_t>(std::min<std::uint64_t>(total, TraceRing::kCapacity));
+      for (std::size_t i = 0; i < retained; ++i) {
+        const TraceEvent& ev = events[i];
+        if (ev.name == nullptr) {
+          continue;
+        }
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += "{\"name\":\"";
+        append_json_escaped(out, ev.name);
+        out += "\",\"cat\":\"";
+        append_json_escaped(out, ev.category == nullptr ? "iprism" : ev.category);
+        // Chrome trace timestamps are microseconds (float); keep three
+        // decimals of sub-microsecond resolution.
+        out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(ring.tid());
+        out += ",\"ts\":";
+        out += std::to_string(static_cast<double>(ev.start_ns) / 1000.0);
+        out += ",\"dur\":";
+        out += std::to_string(static_cast<double>(ev.dur_ns) / 1000.0);
+        out += '}';
+      }
+    }
+    out += "],\"metrics\":{\"counters\":{";
+    first = true;
+    for (const auto& e : counters_) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      append_json_escaped(out, e.name);
+      out += "\":";
+      out += std::to_string(e.value.value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& e : gauges_) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      append_json_escaped(out, e.name);
+      out += "\":";
+      out += std::to_string(e.value.value());
+    }
+    out += "},\"histograms_ns\":{";
+    first = true;
+    for (const auto& e : histograms_) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      append_json_escaped(out, e.name);
+      out += "\":{\"count\":";
+      out += std::to_string(e.value.count());
+      out += ",\"mean\":";
+      out += std::to_string(e.value.mean());
+      out += ",\"min\":";
+      out += std::to_string(e.value.min());
+      out += ",\"p50\":";
+      out += std::to_string(e.value.percentile_ns(50.0));
+      out += ",\"p95\":";
+      out += std::to_string(e.value.percentile_ns(95.0));
+      out += ",\"p99\":";
+      out += std::to_string(e.value.percentile_ns(99.0));
+      out += ",\"max\":";
+      out += std::to_string(e.value.max());
+      out += '}';
+    }
+    out += "}}}";
+  }
+
+  os << out;
+}
+
+bool MetricsRegistry::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  write_chrome_trace(os);
+  return os.good();
+}
+
+void MetricsRegistry::reset_for_testing() {
+  const MutexLock lock(mutex_);
+  for (auto& e : counters_) {
+    e.value.reset();
+  }
+  for (auto& e : gauges_) {
+    e.value.reset();
+  }
+  for (auto& e : histograms_) {
+    e.value.reset();
+  }
+  for (auto& ring : rings_) {
+    ring.reset();
+  }
+}
+
+}  // namespace iprism::common::telemetry

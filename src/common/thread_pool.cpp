@@ -26,12 +26,18 @@ void ThreadPool::worker_loop() {
       // Manual predicate loop (not the cv.wait(lock, pred) overload) so the
       // guarded reads sit directly in this annotated scope — a predicate
       // lambda would not inherit the capability and would trip the analysis.
-      while (!stopping_ && queue_.empty()) cv_.wait(lock);
+      while (!stopping_ && queue_.empty()) {
+        IPRISM_COUNT("threadpool.idle_waits");
+        cv_.wait(lock);
+      }
       if (queue_.empty()) return;  // stopping and fully drained
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();  // packaged_task: exceptions land in the paired future
+    {
+      IPRISM_SCOPED_TIMER("threadpool.task", "threadpool");
+      job();  // packaged_task: exceptions land in the paired future
+    }
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "common/annotations.hpp"
 #include "common/sync.hpp"
+#include "common/telemetry.hpp"
 
 namespace iprism::common {
 
@@ -64,6 +65,10 @@ class ThreadPool {
     {
       const MutexLock lock(mutex_);
       queue_.push([task] { (*task)(); });
+      // Depth gauge under the lock: exact at the instant of enqueue. The
+      // registry entry is a cached function-local static, so the steady-state
+      // cost inside the critical section is one relaxed atomic store.
+      IPRISM_GAUGE_SET("threadpool.queue_depth", queue_.size());
     }
     cv_.notify_one();
     return future;

@@ -1,9 +1,22 @@
 #include "core/monitor.hpp"
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 #include "common/units.hpp"
 
 namespace iprism::core {
+
+std::optional<std::pair<int, double>> riskiest_actor_of(const StiResult& sti) {
+  std::optional<std::pair<int, double>> best;
+  for (const auto& [id, value] : sti.per_actor) {
+    // Strict >: ties keep the first actor in forecast order, and an
+    // all-zero set never promotes anyone past the nullopt initial.
+    if (value > 0.0 && (!best || value > best->second)) {
+      best = std::pair<int, double>{id, value};
+    }
+  }
+  return best;
+}
 
 std::string_view risk_level_name(RiskLevel level) {
   switch (level) {
@@ -30,6 +43,7 @@ void RiskMonitor::reset() {
 }
 
 RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
+  IPRISM_SCOPED_TIMER("monitor.update", "monitor");
   IPRISM_CHECK(world.has_ego(), "RiskMonitor: world has no ego");
   ++updates_;
 
@@ -37,20 +51,19 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
       cvtr_forecasts(world, params_.tube.horizon, params_.tube.dt);
 
   Assessment out;
-  const bool want_attribution =
-      params_.attribute_when_elevated && level_ >= RiskLevel::kCaution &&
-      !forecasts.empty();
-  if (want_attribution) {
-    const StiResult full =
-        sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
-                     forecasts);
-    out.sti_combined = full.combined;
-    for (const auto& [id, value] : full.per_actor) {
-      if (value >= out.riskiest_sti) {
-        out.riskiest_sti = value;
-        out.riskiest_actor = id;
-      }
-    }
+  const bool may_attribute = params_.attribute_when_elevated && !forecasts.empty();
+
+  // Already elevated: the per-actor attribution is wanted every tick, so go
+  // straight to the full N+2 compute. At kSafe, run the cheap 2-tube
+  // combined() first — steady-state safe ticks never pay for
+  // counterfactuals — and decide attribution from the *implied* level of
+  // the STI it returns (below), not from the stale pre-update level_.
+  std::optional<StiResult> full;
+  if (may_attribute && level_ >= RiskLevel::kCaution) {
+    IPRISM_COUNT("monitor.attribution_runs");
+    full = sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
+                        forecasts);
+    out.sti_combined = full->combined;
   } else {
     out.sti_combined =
         sti_.combined(world.map(), world.ego().state, common::Seconds{world.time()},
@@ -70,19 +83,42 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
     implied = RiskLevel::kCaution;
   }
 
+  // Escalation-tick attribution: this tick crosses into kCaution/kCritical
+  // from below, so the combined()-only fast path above skipped the
+  // per-actor pass. Re-run the full compute now — tube evaluation is
+  // deterministic (DESIGN.md §8), so full.combined is bit-identical to the
+  // value already in out.sti_combined and `implied` stands.
+  if (may_attribute && implied > level_ && !full) {
+    IPRISM_COUNT("monitor.attribution_runs");
+    full = sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
+                        forecasts);
+    // NOLINTNEXTLINE(iprism-float-eq): the determinism contract is bit-exact
+    IPRISM_DCHECK(full->combined == out.sti_combined,
+                  "RiskMonitor: attribution re-run disagrees with combined()");
+  }
+  if (full) {
+    if (const auto riskiest = riskiest_actor_of(*full)) {
+      out.riskiest_actor = riskiest->first;
+      out.riskiest_sti = riskiest->second;
+    }
+  }
+
   if (implied > level_) {
     // Escalation is immediate — a warning must not lag the threat.
+    IPRISM_COUNT("monitor.level_transitions");
     level_ = implied;
     quiet_streak_ = 0;
   } else if (implied < level_) {
     // De-escalation needs a stable quiet period (one level at a time).
     if (++quiet_streak_ >= params_.hysteresis_updates) {
+      IPRISM_COUNT("monitor.level_transitions");
       level_ = static_cast<RiskLevel>(static_cast<int>(level_) - 1);
       quiet_streak_ = 0;
     }
   } else {
     quiet_streak_ = 0;
   }
+  IPRISM_GAUGE_SET("monitor.level", static_cast<int>(level_));
 
   out.level = level_;
   return out;

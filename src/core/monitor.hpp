@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 
 #include "core/sti.hpp"
 
@@ -19,6 +20,14 @@ enum class RiskLevel { kSafe = 0, kCaution = 1, kCritical = 2 };
 
 /// Human-readable level name.
 std::string_view risk_level_name(RiskLevel level);
+
+/// The (actor id, STI) pair the monitor reports as "riskiest": the maximum
+/// per-actor STI under strict comparison, so ties resolve to the *first*
+/// actor in forecast order (stable across runs — per_actor preserves input
+/// order). Returns nullopt when no actor has STI > 0: an all-zero per-actor
+/// set means no single actor is attributably responsible (e.g. fully
+/// redundant blockers), and naming one anyway would be noise.
+std::optional<std::pair<int, double>> riskiest_actor_of(const StiResult& sti);
 
 struct RiskMonitorParams {
   double caution_threshold = 0.15;   ///< STI(combined) entering kCaution
@@ -41,8 +50,10 @@ class RiskMonitor {
   struct Assessment {
     double sti_combined = 0.0;
     RiskLevel level = RiskLevel::kSafe;
-    /// Riskiest actor id and its STI; empty below kCaution (or when
-    /// attribution is disabled, or there are no actors).
+    /// Riskiest actor id and its STI, per riskiest_actor_of (strict max,
+    /// first-wins ties, empty when every per-actor STI is zero). Populated
+    /// on any tick at — or escalating into — kCaution and above; empty below
+    /// kCaution, when attribution is disabled, or when there are no actors.
     std::optional<int> riskiest_actor;
     double riskiest_sti = 0.0;
   };

@@ -6,6 +6,7 @@
 #include "common/check.hpp"
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 
 namespace iprism::core {
 namespace {
@@ -164,6 +165,12 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
                  "ReachTube: obstacle timeline missing precomputed circumradii "
                  "(build via sample_obstacles or call ObstacleTimeline::finalize)");
   }
+
+  // Telemetry at compute() granularity only: the per-state hot loop stays
+  // untouched; counters accumulate in plain locals and flush once at exit.
+  IPRISM_SCOPED_TIMER("reachtube.compute", "reachtube");
+  [[maybe_unused]] std::size_t slices_processed = 0;
+  [[maybe_unused]] std::size_t states_expanded = 0;
 
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
@@ -342,8 +349,14 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
       candidates.clear();
       candidates.reserve(expected);
     }
+    ++slices_processed;
+    states_expanded += next.size();  // candidates may have been moved into next
     if (next.empty()) break;  // tube pinched off; later slices unreachable
   }
+
+  IPRISM_COUNT_ADD("reachtube.slices", slices_processed);
+  IPRISM_COUNT_ADD("reachtube.states_expanded", states_expanded);
+  IPRISM_COUNT_ADD("reachtube.scratch_rehashes", scratch.cells.rehash_count());
 
   tube.volume = static_cast<double>(volume_cells);
   IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");

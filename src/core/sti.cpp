@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/telemetry.hpp"
 
 namespace iprism::core {
 
@@ -36,6 +37,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // below needs both before any counterfactual is worth computing. Each tube
   // is computed whole on one thread; volumes land in index-owned slots.
   {
+    IPRISM_SCOPED_TIMER("sti.wave1", "sti");
     double base[2] = {0.0, 0.0};
     common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
       base[j] = j == 0
@@ -63,10 +65,14 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // pool. Aggregation is by forecast index, so per_actor keeps input order
   // and the result is bit-identical to the serial loop.
   std::vector<double> vol_without(forecasts.size(), 0.0);
-  common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
-    vol_without[i] =
-        tube_.compute(map, ego, obstacles, common::ActorId{forecasts[i].id}).volume;
-  });
+  {
+    IPRISM_SCOPED_TIMER("sti.wave2", "sti");
+    IPRISM_COUNT_ADD("sti.counterfactuals", forecasts.size());
+    common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
+      vol_without[i] =
+          tube_.compute(map, ego, obstacles, common::ActorId{forecasts[i].id}).volume;
+    });
+  }
 
   out.per_actor.reserve(forecasts.size());
   for (std::size_t i = 0; i < forecasts.size(); ++i) {
@@ -85,6 +91,7 @@ double StiCalculator::combined(const roadmap::DrivableMap& map,
                                const dynamics::VehicleState& ego, common::Seconds t0,
                                std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
+  IPRISM_SCOPED_TIMER("sti.combined", "sti");
   double base[2] = {0.0, 0.0};
   common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
     base[j] =

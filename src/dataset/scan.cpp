@@ -8,11 +8,14 @@
 namespace iprism::dataset {
 
 double StiScanResult::actor_percentile(double q) const {
-  return common::percentile(actor_sti, q);
+  // An empty corpus (or one with no actors) has no samples; for a scan
+  // summary "no data" reads as zero risk, so keep the historical 0.0 here
+  // rather than inheriting common::percentile's non-empty check.
+  return actor_sti.empty() ? 0.0 : common::percentile(actor_sti, q);
 }
 
 double StiScanResult::combined_percentile(double q) const {
-  return common::percentile(combined_sti, q);
+  return combined_sti.empty() ? 0.0 : common::percentile(combined_sti, q);
 }
 
 double StiScanResult::actor_zero_fraction() const {

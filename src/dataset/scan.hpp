@@ -17,6 +17,9 @@ struct StiScanResult {
   /// Combined STI of every step across the corpus.
   std::vector<double> combined_sti;
 
+  /// Corpus percentiles; 0.0 on an empty corpus (a scan with no samples
+  /// reports zero risk — the empty case is decided here, not in
+  /// common::percentile, which rejects empty input).
   double actor_percentile(double q) const;
   double combined_percentile(double q) const;
   /// Fraction of per-actor samples that are (numerically) zero.

@@ -69,11 +69,61 @@ TEST(RiskMonitor, EscalatesImmediately) {
 TEST(RiskMonitor, AttributionAppearsOnceElevated) {
   RiskMonitor monitor;
   auto w = threat_world(6.0);
-  monitor.update(w);  // first update escalates (no attribution yet)
+  monitor.update(w);  // first update escalates (and attributes — see below)
   const auto second = monitor.update(w);
   ASSERT_GE(second.level, RiskLevel::kCaution);
   ASSERT_TRUE(second.riskiest_actor.has_value());
   EXPECT_GT(second.riskiest_sti, 0.1);
+}
+
+TEST(RiskMonitor, EscalationTickCarriesAttribution) {
+  // Regression: attribution used to be decided from the pre-update level,
+  // so the very tick that first crossed caution_threshold escalated with
+  // riskiest_actor = nullopt and the responsible actor was only named one
+  // tick later — exactly when the alarm consumer needs it most.
+  RiskMonitor monitor;
+  auto w = threat_world(6.0);
+  const auto first = monitor.update(w);
+  ASSERT_GE(first.level, RiskLevel::kCaution);
+  ASSERT_TRUE(first.riskiest_actor.has_value());
+  EXPECT_GT(first.riskiest_sti, 0.1);
+}
+
+TEST(RiskMonitor, AllZeroPerActorYieldsNoRiskiestActor) {
+  // Two coincident blockers per lane: removing any single actor leaves its
+  // twin, so every counterfactual tube equals the full tube — per-actor STI
+  // is all zeros while combined STI stays high. The monitor must escalate
+  // without inventing a "riskiest" actor (the old >=-with-0.0-init scan
+  // named the last actor).
+  sim::World w(test_map(), 0.1);
+  w.add_ego(state(50, 5.25, 10));
+  for (int twin = 0; twin < 2; ++twin) {
+    for (double y : {1.75, 5.25, 8.75}) {
+      sim::Actor blocker;
+      blocker.kind = sim::ActorKind::kVehicle;
+      blocker.state = state(50 + 6.0 + 4.5, y, 0.0);
+      w.add_actor(std::move(blocker));
+    }
+  }
+  RiskMonitor monitor;
+  const auto a = monitor.update(w);
+  ASSERT_GE(a.level, RiskLevel::kCaution);
+  EXPECT_FALSE(a.riskiest_actor.has_value());
+  EXPECT_DOUBLE_EQ(a.riskiest_sti, 0.0);
+}
+
+TEST(RiskiestActorOf, StrictMaxFirstWinsAndAllZeroIsEmpty) {
+  StiResult sti;
+  sti.per_actor = {{7, 0.0}, {3, 0.4}, {9, 0.4}, {5, 0.2}};
+  const auto best = riskiest_actor_of(sti);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->first, 3);  // tie at 0.4 resolves to the first in order
+  EXPECT_DOUBLE_EQ(best->second, 0.4);
+
+  StiResult zeros;
+  zeros.per_actor = {{1, 0.0}, {2, 0.0}};
+  EXPECT_FALSE(riskiest_actor_of(zeros).has_value());
+  EXPECT_FALSE(riskiest_actor_of(StiResult{}).has_value());
 }
 
 TEST(RiskMonitor, DeescalationNeedsQuietStreak) {
@@ -95,6 +145,31 @@ TEST(RiskMonitor, DeescalationNeedsQuietStreak) {
   // Third quiet update: drop exactly one level.
   monitor.update(calm);
   EXPECT_EQ(static_cast<int>(monitor.level()), static_cast<int>(elevated) - 1);
+}
+
+TEST(RiskMonitor, DeescalationStepsOneLevelAtATime) {
+  // Thresholds low enough that the wall scene is kCritical (combined STI is
+  // >= every per-actor STI, and the scene's riskiest actor is above 0.1),
+  // then a calm road must walk kCritical -> kCaution -> kSafe with a full
+  // quiet streak per step — never straight to kSafe.
+  RiskMonitorParams p;
+  p.caution_threshold = 0.03;
+  p.critical_threshold = 0.10;
+  p.hysteresis_updates = 2;
+  RiskMonitor monitor(p);
+  auto threat = threat_world(6.0);
+  monitor.update(threat);
+  ASSERT_EQ(monitor.level(), RiskLevel::kCritical);
+
+  auto calm = empty_world();
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), RiskLevel::kCritical);  // streak 1 of 2
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), RiskLevel::kCaution);  // one level, not two
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), RiskLevel::kCaution);  // streak resets per level
+  monitor.update(calm);
+  EXPECT_EQ(monitor.level(), RiskLevel::kSafe);
 }
 
 TEST(RiskMonitor, ResetClearsState) {

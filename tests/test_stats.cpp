@@ -32,7 +32,11 @@ TEST(RunningStat, MatchesClosedForm) {
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
-TEST(Percentile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0); }
+TEST(Percentile, RejectsEmptyInput) {
+  // An empty set has no percentiles; the old silent 0.0 was
+  // indistinguishable from a genuine p=0.
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
 
 TEST(Percentile, SingleElement) { EXPECT_DOUBLE_EQ(percentile({3.0}, 90.0), 3.0); }
 

@@ -15,6 +15,17 @@ this lint enforces the ones that keep the risk monitor trustworthy:
   header-hygiene    Every header under src/ carries ``#pragma once`` and
                     lives in the ``iprism`` namespace.
 
+  telemetry-discipline
+                    No raw ``std::chrono::*_clock::now()`` timing outside
+                    ``src/common/telemetry`` and ``bench/bench_util``
+                    (scanned over src/ AND bench/). Ad-hoc clock reads
+                    bypass the MetricsRegistry (DESIGN.md §11): their
+                    numbers never reach ``--telemetry`` output, and they
+                    stay in the binary when telemetry is compiled out.
+                    Time code through IPRISM_SCOPED_TIMER /
+                    IPRISM_HISTOGRAM_NS, or bench::WallTimer for bench
+                    table reporting.
+
 Four former rules now live in the clang-tidy plugin (tools/tidy-plugin/),
 which sees the AST instead of regexes and therefore has no false positives
 on comments, strings, or macro bodies:
@@ -41,7 +52,7 @@ import re
 import sys
 from pathlib import Path
 
-RULES = ("params-validated", "header-hygiene")
+RULES = ("params-validated", "header-hygiene", "telemetry-discipline")
 
 # Rules that moved into the clang-tidy plugin (tools/tidy-plugin/). Kept here
 # so stale allow() comments get a pointed message instead of "unknown rule".
@@ -164,6 +175,42 @@ def check_header_hygiene(src, sources):
     return findings
 
 
+CLOCK_NOW_RE = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
+
+# The only sanctioned homes for raw clock reads (relative to the repo root):
+# the telemetry layer itself and the bench stopwatch built on top of it.
+TELEMETRY_ALLOWED = (
+    "src/common/telemetry.hpp",
+    "src/common/telemetry.cpp",
+    "bench/bench_util.hpp",
+    "bench/bench_util.cpp",
+)
+
+
+def check_telemetry_discipline(root, sources):
+    """Raw clock reads are confined to the telemetry layer (+ bench_util)."""
+    findings = []
+    for path, text in sources:
+        rel = path.relative_to(root)
+        if str(rel).replace("\\", "/") in TELEMETRY_ALLOWED:
+            continue
+        lines = text.splitlines()
+        sup, _ = suppressions(lines)
+        stripped = strip_noncode(text)
+        for i, line in enumerate(stripped.splitlines(), start=1):
+            if not CLOCK_NOW_RE.search(line):
+                continue
+            if (i, "telemetry-discipline") in sup:
+                continue
+            findings.append(Finding(
+                "telemetry-discipline", rel, i,
+                "raw std::chrono clock read outside src/common/telemetry — "
+                "use IPRISM_SCOPED_TIMER/IPRISM_HISTOGRAM_NS (or "
+                "bench::WallTimer in bench tables)"))
+    return findings
+
+
 def check_suppression_quality(src, sources):
     findings = []
     for path, text in sources:
@@ -190,9 +237,19 @@ def main():
         if path.suffix in (".hpp", ".cpp"):
             sources.append((path, path.read_text(encoding="utf-8")))
 
+    # telemetry-discipline also covers bench/ (the bench mains time things
+    # too); the struct/header rules stay scoped to src/'s public surface.
+    timed_sources = list(sources)
+    bench = (args.root / "bench").resolve()
+    if bench.is_dir():
+        for path in sorted(bench.rglob("*")):
+            if path.suffix in (".hpp", ".cpp"):
+                timed_sources.append((path, path.read_text(encoding="utf-8")))
+
     findings = []
     findings += check_params_validated(src, sources)
     findings += check_header_hygiene(src, sources)
+    findings += check_telemetry_discipline(src.parent, timed_sources)
     findings += check_suppression_quality(src, sources)
 
     for f in findings:

@@ -16,6 +16,7 @@
 #include "eval/pkl_training.hpp"
 #include "eval/series.hpp"
 #include "smc/controller.hpp"
+#include "ubench.hpp"
 
 // Sanitizer instrumentation detection: gcc defines __SANITIZE_*__, clang
 // exposes __has_feature. Checked in addition to NDEBUG because the
@@ -40,6 +41,14 @@ const char* nonrelease_build_reason() {
 #elif defined(IPRISM_ENABLE_DCHECKS)
   return "hot-path debug checks enabled (IPRISM_ENABLE_DCHECKS)";
 #else
+  // The benchmark harness itself must be a release build too: a debug
+  // harness library is exactly how the original BENCH_tube_hotpath.json
+  // baseline got its "library_build_type": "debug" taint. ubench compiles
+  // under the same preset as this TU, so this only fires if the build system
+  // regresses — but the guard is the contract, not the build setup.
+  if (std::string_view(ubench::library_build_type()) != "release") {
+    return "benchmark harness library built non-release (ubench reports debug)";
+  }
   return "";
 #endif
 }

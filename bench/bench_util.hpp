@@ -88,8 +88,8 @@ const char* nonrelease_build_reason();
 void require_release_guard(int argc, const char* const* argv);
 
 /// Removes `--require-release` from argv in place and returns the new argc
-/// (google-benchmark binaries reject unknown flags; CliArgs-based benches
-/// tolerate it, so only overheads needs this).
+/// (ubench::run_main rejects unknown flags; CliArgs-based benches tolerate
+/// it, so only overheads needs this).
 int strip_require_release_flag(int argc, char** argv);
 
 /// Aggregate outcome of a (suite x agent [x controller]) evaluation.

@@ -4,7 +4,7 @@
 // operations the paper timed in Python (STI evaluation 0.61 s; SMC
 // inference 0.012 s there).
 //
-//   ./overheads [google-benchmark flags] [--require-release]
+//   ./overheads [ubench flags] [--require-release]
 //
 // The BM_TubeHotpath family measures the reach-tube hot-loop rewrite
 // (common::FlatHashGrid scratch, per-slice obstacle active-set) against a
@@ -14,11 +14,18 @@
 //   ./overheads --require-release \
 //     '--benchmark_filter=BM_TubeHotpath|BM_StiFullPerActor$' \
 //     --benchmark_out=BENCH_tube_hotpath.json --benchmark_out_format=json
-#include <benchmark/benchmark.h>
-
+//
+// The BM_CounterfactualFanout family sweeps actor count N for the full STI
+// evaluation under both counterfactual engines — from-scratch N+2
+// propagations vs the shared-wavefront delta engine (DESIGN.md §12).
+// Recorded as BENCH_counterfactual_delta.json:
+//   ./overheads --require-release \
+//     --benchmark_filter=BM_CounterfactualFanout \
+//     --benchmark_out=BENCH_counterfactual_delta.json --benchmark_out_format=json
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/units.hpp"
 #include "bench_util.hpp"
@@ -27,6 +34,7 @@
 #include "dynamics/cvtr.hpp"
 #include "smc/controller.hpp"
 #include "smc/features.hpp"
+#include "ubench.hpp"
 
 using namespace iprism;
 
@@ -60,14 +68,14 @@ Fixture& fixture() {
   return f;
 }
 
-void BM_SimStep(benchmark::State& state) {
+void BM_SimStep(ubench::State& state) {
   sim::World world = fixture().make_world();
   for (auto _ : state) {
     world.step(dynamics::Control{0.0, 0.0});
-    benchmark::DoNotOptimize(world.time());
+    ubench::DoNotOptimize(world.time());
   }
 }
-BENCHMARK(BM_SimStep);
+UBENCH(BM_SimStep);
 
 // ---------------------------------------------------------------------------
 // BM_TubeHotpath: before/after baseline for the flat-hash hot-loop rewrite.
@@ -192,7 +200,7 @@ core::ReachTube baseline_tube(const roadmap::DrivableMap& map,
   return tube;
 }
 
-void BM_TubeHotpathBaseline(benchmark::State& state) {
+void BM_TubeHotpathBaseline(ubench::State& state) {
   // One tube through the pre-rewrite unordered_map hot loop.
   auto& f = fixture();
   const core::ReachTubeParams params;
@@ -202,12 +210,12 @@ void BM_TubeHotpathBaseline(benchmark::State& state) {
   for (auto _ : state) {
     const auto tube = baseline_tube(f.world.map(), f.world.ego().state, obstacles,
                                     common::ActorId::none(), params);
-    benchmark::DoNotOptimize(tube.volume);
+    ubench::DoNotOptimize(tube.volume);
   }
 }
-BENCHMARK(BM_TubeHotpathBaseline);
+UBENCH(BM_TubeHotpathBaseline);
 
-void BM_TubeHotpathFlat(benchmark::State& state) {
+void BM_TubeHotpathFlat(ubench::State& state) {
   // One tube through the FlatHashGrid hot loop; arg = scratch_reserve
   // (0 = auto-reserve — the default; the old loop could not reserve at all).
   auto& f = fixture();
@@ -219,12 +227,12 @@ void BM_TubeHotpathFlat(benchmark::State& state) {
   for (auto _ : state) {
     const auto tube =
         rt.compute(f.world.map(), f.world.ego().state, obstacles, common::ActorId::none());
-    benchmark::DoNotOptimize(tube.volume);
+    ubench::DoNotOptimize(tube.volume);
   }
 }
-BENCHMARK(BM_TubeHotpathFlat)->Arg(0)->Arg(4096);
+UBENCH(BM_TubeHotpathFlat)->Arg(0)->Arg(4096);
 
-void BM_TubeHotpathStiBaseline(benchmark::State& state) {
+void BM_TubeHotpathStiBaseline(ubench::State& state) {
   // The full-STI workload (N+2 tubes: |T|, |T^null|, per-actor
   // counterfactuals) through the baseline loop — the apples-to-apples
   // counterpart of BM_StiFullPerActor on the new hot loop.
@@ -244,35 +252,35 @@ void BM_TubeHotpathStiBaseline(benchmark::State& state) {
                            params)
                  .volume;
     }
-    benchmark::DoNotOptimize(acc);
+    ubench::DoNotOptimize(acc);
   }
 }
-BENCHMARK(BM_TubeHotpathStiBaseline);
+UBENCH(BM_TubeHotpathStiBaseline);
 
-void BM_ReachTube(benchmark::State& state) {
+void BM_ReachTube(ubench::State& state) {
   auto& f = fixture();
   const core::ReachTubeComputer rt;
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
     const auto tube =
         rt.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
-    benchmark::DoNotOptimize(tube.volume);
+    ubench::DoNotOptimize(tube.volume);
   }
 }
-BENCHMARK(BM_ReachTube);
+UBENCH(BM_ReachTube);
 
-void BM_StiCombined(benchmark::State& state) {
+void BM_StiCombined(ubench::State& state) {
   auto& f = fixture();
   const core::StiCalculator sti;
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
+    ubench::DoNotOptimize(
         sti.combined(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts));
   }
 }
-BENCHMARK(BM_StiCombined);
+UBENCH(BM_StiCombined);
 
-void BM_StiFullPerActor(benchmark::State& state) {
+void BM_StiFullPerActor(ubench::State& state) {
   // The paper's "STI evaluation": per-actor counterfactuals + combined
   // (0.61 s in the Python implementation on a Threadripper).
   auto& f = fixture();
@@ -281,13 +289,13 @@ void BM_StiFullPerActor(benchmark::State& state) {
   for (auto _ : state) {
     const auto r =
         sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
-    benchmark::DoNotOptimize(r.combined);
+    ubench::DoNotOptimize(r.combined);
   }
 }
-BENCHMARK(BM_StiFullPerActor);
+UBENCH(BM_StiFullPerActor);
 
-void BM_StiFullPerActorThreads(benchmark::State& state) {
-  // The parallel STI engine: same N+2 tube evaluation as BM_StiFullPerActor,
+void BM_StiFullPerActorThreads(ubench::State& state) {
+  // The parallel STI engine: same full evaluation as BM_StiFullPerActor,
   // fanned over a common::ThreadPool with `num_threads` workers (arg 0 = the
   // serial fallback path through the same code). The JSON emitted by
   //   ./overheads --benchmark_filter=StiFullPerActor
@@ -302,28 +310,92 @@ void BM_StiFullPerActorThreads(benchmark::State& state) {
   for (auto _ : state) {
     const auto r =
         sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
-    benchmark::DoNotOptimize(r.combined);
+    ubench::DoNotOptimize(r.combined);
   }
 }
-BENCHMARK(BM_StiFullPerActorThreads)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+UBENCH(BM_StiFullPerActorThreads)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_CvtrForecasts(benchmark::State& state) {
+// ---------------------------------------------------------------------------
+// BM_CounterfactualFanout: actor-count sweep for the shared-wavefront
+// counterfactual engine (DESIGN.md §12). The scene keeps the fixture's three
+// live nearby actors (real blockers → real delta replays) and pads to N with
+// static actors distributed on a far ring — outside every slice's reachable
+// disc, so their counterfactuals are free under the delta engine but still
+// cost a full propagation each under the scratch engine. This is the sparse
+// many-actor regime the O(W + Σδᵢ) claim is about; the delta/scratch ratio
+// should grow roughly linearly with N.
+
+std::vector<core::ActorForecast> fanout_forecasts(std::int64_t n) {
+  auto& f = fixture();
+  auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
+  if (std::cmp_greater(forecasts.size(), n)) {
+    forecasts.resize(static_cast<std::size_t>(n));
+  }
+  const dynamics::VehicleState ego = f.world.ego().state;
+  int next_id = 1000;
+  std::size_t k = 0;
+  while (std::cmp_less(forecasts.size(), n)) {
+    core::ActorForecast far_actor;
+    far_actor.id = next_id++;
+    far_actor.dims = dynamics::Dimensions{4.5, 2.0};
+    // 400 m+ ring: beyond reach_r for every slice of a 3 s horizon.
+    const double angle = 0.37 * static_cast<double>(k);
+    const double radius = 400.0 + 5.0 * static_cast<double>(k);
+    far_actor.trajectory.append(
+        common::Seconds{f.world.time()},
+        dynamics::VehicleState{ego.x + radius * std::cos(angle),
+                               ego.y + radius * std::sin(angle), 0.0, 0.0});
+    forecasts.push_back(std::move(far_actor));
+    ++k;
+  }
+  return forecasts;
+}
+
+void BM_CounterfactualFanoutScratch(ubench::State& state) {
+  auto& f = fixture();
+  core::ReachTubeParams params;
+  params.delta_counterfactuals = false;  // N+2 independent propagations
+  const core::StiCalculator sti(params);
+  const auto forecasts = fanout_forecasts(state.range(0));
+  for (auto _ : state) {
+    const auto r =
+        sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
+    ubench::DoNotOptimize(r.combined);
+  }
+}
+UBENCH(BM_CounterfactualFanoutScratch)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CounterfactualFanoutDelta(ubench::State& state) {
+  auto& f = fixture();
+  core::ReachTubeParams params;
+  params.delta_counterfactuals = true;  // one attributed propagation + replays
+  const core::StiCalculator sti(params);
+  const auto forecasts = fanout_forecasts(state.range(0));
+  for (auto _ : state) {
+    const auto r =
+        sti.compute(f.world.map(), f.world.ego().state, common::Seconds{f.world.time()}, forecasts);
+    ubench::DoNotOptimize(r.combined);
+  }
+}
+UBENCH(BM_CounterfactualFanoutDelta)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CvtrForecasts(ubench::State& state) {
   auto& f = fixture();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::cvtr_forecasts(f.world, 3.0, 0.25));
+    ubench::DoNotOptimize(core::cvtr_forecasts(f.world, 3.0, 0.25));
   }
 }
-BENCHMARK(BM_CvtrForecasts);
+UBENCH(BM_CvtrForecasts);
 
-void BM_SmcFeatureExtraction(benchmark::State& state) {
+void BM_SmcFeatureExtraction(ubench::State& state) {
   auto& f = fixture();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(smc::extract_features(f.world));
+    ubench::DoNotOptimize(smc::extract_features(f.world));
   }
 }
-BENCHMARK(BM_SmcFeatureExtraction);
+UBENCH(BM_SmcFeatureExtraction);
 
-void BM_SmcInference(benchmark::State& state) {
+void BM_SmcInference(ubench::State& state) {
   // Feature extraction + Q-network forward + argmax: the paper's "SMC
   // inference" (0.012 s in Python/PyTorch).
   auto& f = fixture();
@@ -331,47 +403,43 @@ void BM_SmcInference(benchmark::State& state) {
   rl::Mlp policy({smc::kFeatureCount, 48, 48, 3}, rng);
   smc::SmcController controller(std::move(policy));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(controller.policy_action(smc::extract_features(f.world)));
+    ubench::DoNotOptimize(controller.policy_action(smc::extract_features(f.world)));
   }
 }
-BENCHMARK(BM_SmcInference);
+UBENCH(BM_SmcInference);
 
-void BM_PklPerActor(benchmark::State& state) {
+void BM_PklPerActor(ubench::State& state) {
   auto& f = fixture();
   const core::PklMetric pkl;
   const auto scene = core::snapshot_of(f.world);
   const auto forecasts = core::cvtr_forecasts(f.world, 3.0, 0.25);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pkl.compute(scene, forecasts));
+    ubench::DoNotOptimize(pkl.compute(scene, forecasts));
   }
 }
-BENCHMARK(BM_PklPerActor);
+UBENCH(BM_PklPerActor);
 
-void BM_TtcMetric(benchmark::State& state) {
+void BM_TtcMetric(ubench::State& state) {
   auto& f = fixture();
   const core::TtcMetric ttc(3.0);
   const auto scene = core::snapshot_of(f.world);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ttc.risk(scene));
+    ubench::DoNotOptimize(ttc.risk(scene));
   }
 }
-BENCHMARK(BM_TtcMetric);
+UBENCH(BM_TtcMetric);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   iprism::bench::require_release_guard(argc, argv);
   argc = iprism::bench::strip_require_release_flag(argc, argv);
-  // google-benchmark's own "library_build_type" context describes the
-  // installed libbenchmark, not this code; record ours explicitly so a
-  // committed BENCH_*.json is self-describing.
-  benchmark::AddCustomContext("iprism_build_type",
-                              bench::release_benchmark_build()
-                                  ? "release"
-                                  : bench::nonrelease_build_reason());
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  // ubench's "library_build_type" context describes the harness TU; record
+  // the measured library's build type explicitly as well so a committed
+  // BENCH_*.json is self-describing.
+  ubench::add_context("iprism_build_type",
+                      bench::release_benchmark_build()
+                          ? "release"
+                          : bench::nonrelease_build_reason());
+  return ubench::run_main(argc, argv);
 }

@@ -54,10 +54,12 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
   const bool may_attribute = params_.attribute_when_elevated && !forecasts.empty();
 
   // Already elevated: the per-actor attribution is wanted every tick, so go
-  // straight to the full N+2 compute. At kSafe, run the cheap 2-tube
-  // combined() first — steady-state safe ticks never pay for
-  // counterfactuals — and decide attribution from the *implied* level of
-  // the STI it returns (below), not from the stale pre-update level_.
+  // straight to the full per-actor compute (one attributed propagation plus
+  // N+1 memoized replays under the §12 delta engine). At kSafe, run the
+  // cheap combined() first — one attributed tube plus at most one |T^{∅}|
+  // replay; steady-state safe ticks never pay for per-actor counterfactuals
+  // — and decide attribution from the *implied* level of the STI it returns
+  // (below), not from the stale pre-update level_.
   std::optional<StiResult> full;
   if (may_attribute && level_ >= RiskLevel::kCaution) {
     IPRISM_COUNT("monitor.attribution_runs");
@@ -86,8 +88,9 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
   // Escalation-tick attribution: this tick crosses into kCaution/kCritical
   // from below, so the combined()-only fast path above skipped the
   // per-actor pass. Re-run the full compute now — tube evaluation is
-  // deterministic (DESIGN.md §8), so full.combined is bit-identical to the
-  // value already in out.sti_combined and `implied` stands.
+  // deterministic (DESIGN.md §8) and both engines derive |T| and |T^{∅}|
+  // identically (§12), so full.combined is bit-identical to the value
+  // already in out.sti_combined and `implied` stands.
   if (may_attribute && implied > level_ && !full) {
     IPRISM_COUNT("monitor.attribution_runs");
     full = sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},

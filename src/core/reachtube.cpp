@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/flat_hash.hpp"
@@ -31,7 +32,35 @@ struct CellReps {
   double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
 };
 
-/// Per-compute() scratch, reused across the slice loop. Everything is
+static_assert(sizeof(dynamics::VehicleState) == 4 * sizeof(double),
+              "VehicleState must stay four packed doubles: the blocked-by "
+              "memo matches replayed candidates by raw state bits");
+
+/// Hash of a state's exact bit pattern — the blocked-by memo key. Two runs
+/// testing the same candidate produce identical doubles (the propagation is
+/// deterministic), so bit hashing is exact; a hash collision between
+/// *different* states is caught by bits_equal below and degrades to a memo
+/// miss, never to a wrong answer.
+std::uint64_t state_bits_key(const dynamics::VehicleState& s) {
+  const auto bits = [](double d) {
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = common::splitmix64_mix(bits(s.x));
+  h = common::splitmix64_mix(h ^ bits(s.y));
+  h = common::splitmix64_mix(h ^ bits(s.heading));
+  h = common::splitmix64_mix(h ^ bits(s.speed));
+  return h;
+}
+
+bool bits_equal(const dynamics::VehicleState& a, const dynamics::VehicleState& b) {
+  return std::memcmp(&a, &b, sizeof(a)) == 0;
+}
+
+}  // namespace
+
+/// Per-propagation scratch, reused across the slice loop. Everything is
 /// pre-reserved once and cleared per slice with capacity retained, so after
 /// the first slice the loop performs zero steady-state allocations. The
 /// hash containers are common::FlatHashGrid: iteration order is insertion
@@ -39,7 +68,7 @@ struct CellReps {
 /// unlike the std::unordered_* scratch this replaced — pre-reserving (or
 /// varying ReachTubeParams::scratch_reserve) cannot perturb tube results
 /// (DESIGN.md §9).
-struct TubeScratch {
+struct ReachTubeComputer::TubeScratch {
   common::FlatHashGrid<CellReps> cells;
   common::FlatKeySet occupied;  // volume when dedup is off
   std::vector<dynamics::VehicleState> candidates;
@@ -47,14 +76,20 @@ struct TubeScratch {
   /// Surviving-representative slots paired with their SplitMix64 sort key
   /// (precomputed once so the emission sort never re-mixes in a comparator).
   std::vector<std::pair<std::uint64_t, std::uint32_t>> kept;
-  std::vector<std::uint32_t> active;      // per-slice obstacle active-set
+  std::vector<std::uint32_t> active;  // per-slice obstacle active-set
+  /// Per-obstacle exclusion flags, resolved once per propagation (from an
+  /// ActorId for the public compute(), from an obstacle index / lift-all for
+  /// the counterfactual replays) so the per-slice active-set build does one
+  /// byte test per obstacle.
+  std::vector<char> excluded;
 
-  explicit TubeScratch(std::size_t expected, std::size_t obstacle_count) {
+  TubeScratch(std::size_t expected, std::size_t obstacle_count) {
     cells.reserve(expected);
     occupied.reserve(expected);
     candidates.reserve(expected);
     kept.reserve(expected);
     active.reserve(obstacle_count);
+    excluded.assign(obstacle_count, 0);
   }
 
   void next_slice() {
@@ -63,8 +98,6 @@ struct TubeScratch {
     candidates.clear();
   }
 };
-
-}  // namespace
 
 void ObstacleTimeline::finalize() {
   circumradius_by_slice.clear();
@@ -154,96 +187,83 @@ bool ReachTubeComputer::state_ok(const roadmap::DrivableMap& map,
   return true;
 }
 
-ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
-                                     const dynamics::VehicleState& ego,
-                                     std::span<const ObstacleTimeline> obstacles,
-                                     common::ActorId exclude) const {
-  for (const ObstacleTimeline& obs : obstacles) {
-    IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
-                 "ReachTube: obstacle timeline sliced with different parameters");
-    IPRISM_CHECK(obs.circumradius_by_slice.size() == obs.by_slice.size(),
-                 "ReachTube: obstacle timeline missing precomputed circumradii "
-                 "(build via sample_obstacles or call ObstacleTimeline::finalize)");
+BlockRecord ReachTubeComputer::classify_state(const roadmap::DrivableMap& map,
+                                              const dynamics::VehicleState& s,
+                                              std::span<const ObstacleTimeline> obstacles,
+                                              std::span<const std::uint32_t> active,
+                                              common::SliceIdx slice_idx) const {
+  const std::size_t slice = slice_idx.value();
+  BlockRecord rec;
+  rec.state = s;
+  const geom::OrientedBox ego_box = dynamics::footprint(s, params_.ego_dims);
+  if (!map.contains_box(ego_box, params_.map_margin)) {
+    rec.cls = BlockerClass::kOffMap;
+    return rec;
   }
+  const double ego_r = ego_circumradius_;
+  for (const std::uint32_t oi : active) {
+    const ObstacleTimeline& obs = obstacles[oi];
+    IPRISM_DCHECK(slice < obs.by_slice.size(),
+                  "ReachTube: slice index out of obstacle timeline bounds");
+    const geom::OrientedBox& box = obs.by_slice[slice];
+    const double r = ego_r + obs.circumradius_by_slice[slice];
+    if ((box.center() - ego_box.center()).norm_sq() > r * r) continue;
+    if (!ego_box.intersects(box)) continue;
+    if (rec.cls == BlockerClass::kSole) {
+      // Second blocker found: no single-actor removal rescues this state,
+      // and the exact blocker set beyond that is irrelevant — stop scanning.
+      rec.cls = BlockerClass::kMulti;
+      return rec;
+    }
+    rec.cls = BlockerClass::kSole;
+    rec.sole_blocker = oi;
+  }
+  return rec;  // kPassed, or kSole with the one blocker recorded
+}
 
-  // Telemetry at compute() granularity only: the per-state hot loop stays
-  // untouched; counters accumulate in plain locals and flush once at exit.
-  IPRISM_SCOPED_TIMER("reachtube.compute", "reachtube");
+template <class TestState, class OnLoopBegin, class OnSliceDone>
+void ReachTubeComputer::propagate(const roadmap::DrivableMap& map,
+                                  std::span<const ObstacleTimeline> obstacles,
+                                  TubeScratch& scratch, ReachTube& tube,
+                                  std::size_t& volume_cells, common::Rng& rng,
+                                  int first_loop, TestState&& test,
+                                  OnLoopBegin&& on_loop_begin,
+                                  OnSliceDone&& on_slice_done) const {
   [[maybe_unused]] std::size_t slices_processed = 0;
   [[maybe_unused]] std::size_t states_expanded = 0;
 
-  ReachTube tube;
-  tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
-
-  const std::size_t expected =
-      params_.scratch_reserve > 0
-          ? params_.scratch_reserve
-          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
-  TubeScratch scratch(expected, obstacles.size());
   auto& cells = scratch.cells;
   auto& occupied = scratch.occupied;
   auto& candidates = scratch.candidates;
   auto& active = scratch.active;
 
-  // Conservative reachable-disc bound: by slice j (time t = j·dt), every
-  // candidate's footprint lies within seed_pos ± (t·v̄(t) + ego_r), where
-  // v̄(t) = min(v0 + a_max·t, model v_max) bounds speed (the bicycle model
-  // clamps speed to [0, v_max], so braking never adds displacement). An
-  // obstacle whose slice-j footprint disc cannot touch that disc is filtered
-  // out of the slice's active-set once, instead of being broad-phase-tested
-  // per candidate state. kSlack absorbs rounding in the bound arithmetic.
-  const geom::Vec2 seed_pos{ego.x, ego.y};
-  const double ego_r = ego_circumradius_;
-  constexpr double kSlack = 0.5;
-  auto build_active = [&](common::SliceIdx slice_idx) {
-    active.clear();
-    const std::size_t slice = slice_idx.value();
-    const double t = static_cast<double>(slice) * params_.dt;
-    const double v_bound =
-        std::min(std::max(ego.speed, 0.0) + std::max(params_.limits.accel_max, 0.0) * t,
-                 model_.max_speed().value());
-    const double reach_r = t * v_bound + ego_r + kSlack;
-    for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
-      const ObstacleTimeline& obs = obstacles[oi];
-      // ActorId::none() compares equal to no real (>= 0) actor id, so the
-      // default excludes nobody — including anonymous hand-built timelines.
-      if (exclude.valid() && obs.actor_id == exclude) continue;
-      const double r = reach_r + obs.circumradius_by_slice[slice];
-      if ((obs.by_slice[slice].center() - seed_pos).norm_sq() > r * r) continue;
-      active.push_back(static_cast<std::uint32_t>(oi));
-    }
-  };
-
-  // Slice 0: the current ego state. If it already collides (or is off-map),
-  // every escape route is gone and the tube is empty.
-  build_active(common::SliceIdx{0});
-  if (!state_ok(map, ego, obstacles, active, common::SliceIdx{0})) return tube;
-  tube.slices[0].push_back(ego);
-
-  std::size_t volume_cells = 1;  // the seed's own cell
-  common::Rng rng(params_.sample_seed);
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
   const double inv_cell = 1.0 / params_.cell_size;
-  const common::Seconds dt{params_.dt};  // hoisted: one conversion per compute()
+  const common::Seconds dt{params_.dt};  // hoisted: one conversion per propagation
 
-  // Per-slice working set (scratch above, allocated once per compute()
-  // call). With dedup on, each (x, y) epsilon cell keeps up to four
-  // representative states (speed/heading extremes); dead cells (first
-  // sample collided or left the map) are cached so the whole cell is
-  // skipped — optimization (1) at cell granularity.
-  for (int j = 0; j < slices_; ++j) {
+  // Per-slice working set (scratch above, allocated once per propagation).
+  // With dedup on, each (x, y) epsilon cell keeps up to four representative
+  // states (speed/heading extremes); dead cells (first sample collided or
+  // left the map) are cached so the whole cell is skipped — optimization (1)
+  // at cell granularity.
+  for (int j = first_loop; j < slices_; ++j) {
+    on_loop_begin(j);
     const auto& current = tube.slices[static_cast<std::size_t>(j)];
     auto& next = tube.slices[static_cast<std::size_t>(j) + 1];
     scratch.next_slice();
 
     const common::SliceIdx slice_idx{static_cast<std::size_t>(j) + 1};
-    build_active(slice_idx);
+    build_active_set(obstacles, tube.slices[0].front(), scratch, slice_idx);
     std::size_t dead_cells = 0;
     auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
       if (candidates.size() >= params_.max_states_per_slice) return;
       const dynamics::VehicleState ns = model_.step(s, u, dt);
 
       if (!params_.dedup) {
-        if (!state_ok(map, ns, obstacles, active, slice_idx)) return;
+        if (!test(ns, slice_idx)) return;
         candidates.push_back(ns);
         occupied.insert(xy_key(ns.x, ns.y, inv_cell));
         return;
@@ -256,7 +276,7 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
       const std::uint64_t key = xy_key(ns.x, ns.y, inv_cell);
       auto [reps_slot, inserted] = cells.insert(key);
       if (inserted) {
-        if (!state_ok(map, ns, obstacles, active, slice_idx)) {
+        if (!test(ns, slice_idx)) {
           ++dead_cells;  // reps_slot keeps its default min_v = -1 dead marker
           return;
         }
@@ -272,7 +292,7 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
       const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
                             ns.heading < reps.h_lo || ns.heading > reps.h_hi;
       if (!improves) return;
-      if (!state_ok(map, ns, obstacles, active, slice_idx)) return;
+      if (!test(ns, slice_idx)) return;
       const int idx = static_cast<int>(candidates.size());
       candidates.push_back(ns);
       if (ns.speed < reps.v_lo) {
@@ -351,16 +371,284 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
     }
     ++slices_processed;
     states_expanded += next.size();  // candidates may have been moved into next
+    on_slice_done(j, volume_cells);
     if (next.empty()) break;  // tube pinched off; later slices unreachable
   }
 
   IPRISM_COUNT_ADD("reachtube.slices", slices_processed);
   IPRISM_COUNT_ADD("reachtube.states_expanded", states_expanded);
   IPRISM_COUNT_ADD("reachtube.scratch_rehashes", scratch.cells.rehash_count());
+}
+
+void ReachTubeComputer::build_active_set(std::span<const ObstacleTimeline> obstacles,
+                                         const dynamics::VehicleState& seed,
+                                         TubeScratch& scratch,
+                                         common::SliceIdx slice_idx) const {
+  // Conservative reachable-disc bound: by slice j (time t = j·dt), every
+  // candidate's footprint lies within seed_pos ± (t·v̄(t) + ego_r), where
+  // v̄(t) = min(v0 + a_max·t, model v_max) bounds speed (the bicycle model
+  // clamps speed to [0, v_max], so braking never adds displacement). An
+  // obstacle whose slice-j footprint disc cannot touch that disc is filtered
+  // out of the slice's active-set once, instead of being broad-phase-tested
+  // per candidate state. kSlack absorbs rounding in the bound arithmetic.
+  scratch.active.clear();
+  const geom::Vec2 seed_pos{seed.x, seed.y};
+  constexpr double kSlack = 0.5;
+  const std::size_t slice = slice_idx.value();
+  const double t = static_cast<double>(slice) * params_.dt;
+  const double v_bound =
+      std::min(std::max(seed.speed, 0.0) + std::max(params_.limits.accel_max, 0.0) * t,
+               model_.max_speed().value());
+  const double reach_r = t * v_bound + ego_circumradius_ + kSlack;
+  for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
+    if (scratch.excluded[oi]) continue;
+    const ObstacleTimeline& obs = obstacles[oi];
+    const double r = reach_r + obs.circumradius_by_slice[slice];
+    if ((obs.by_slice[slice].center() - seed_pos).norm_sq() > r * r) continue;
+    scratch.active.push_back(static_cast<std::uint32_t>(oi));
+  }
+}
+
+void ReachTubeComputer::check_timelines(std::span<const ObstacleTimeline> obstacles) const {
+  for (const ObstacleTimeline& obs : obstacles) {
+    IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
+                 "ReachTube: obstacle timeline sliced with different parameters");
+    IPRISM_CHECK(obs.circumradius_by_slice.size() == obs.by_slice.size(),
+                 "ReachTube: obstacle timeline missing precomputed circumradii "
+                 "(build via sample_obstacles or call ObstacleTimeline::finalize)");
+  }
+}
+
+ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
+                                     const dynamics::VehicleState& ego,
+                                     std::span<const ObstacleTimeline> obstacles,
+                                     common::ActorId exclude) const {
+  check_timelines(obstacles);
+
+  // Telemetry at compute() granularity only: the per-state hot loop stays
+  // untouched; counters accumulate in plain locals and flush once at exit.
+  IPRISM_SCOPED_TIMER("reachtube.compute", "reachtube");
+
+  ReachTube tube;
+  tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
+
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
+  TubeScratch scratch(expected, obstacles.size());
+  // ActorId::none() compares equal to no real (>= 0) actor id, so the
+  // default excludes nobody — including anonymous hand-built timelines.
+  if (exclude.valid()) {
+    for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
+      scratch.excluded[oi] = obstacles[oi].actor_id == exclude ? 1 : 0;
+    }
+  }
+
+  // Slice 0: the current ego state. If it already collides (or is off-map),
+  // every escape route is gone and the tube is empty.
+  build_active_set(obstacles, ego, scratch, common::SliceIdx{0});
+  if (!state_ok(map, ego, obstacles, scratch.active, common::SliceIdx{0})) return tube;
+  tube.slices[0].push_back(ego);
+
+  std::size_t volume_cells = 1;  // the seed's own cell
+  common::Rng rng(params_.sample_seed);
+  propagate(
+      map, obstacles, scratch, tube, volume_cells, rng, 0,
+      [&](const dynamics::VehicleState& ns, common::SliceIdx si) {
+        return state_ok(map, ns, obstacles, scratch.active, si);
+      },
+      [](int) {}, [](int, std::size_t) {});
 
   tube.volume = static_cast<double>(volume_cells);
   IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");
   return tube;
+}
+
+AttributedTube ReachTubeComputer::compute_attributed(
+    const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+    std::span<const ObstacleTimeline> obstacles) const {
+  check_timelines(obstacles);
+  IPRISM_SCOPED_TIMER("reachtube.compute_attributed", "reachtube");
+
+  AttributedTube out;
+  TubeAttribution& attr = out.attribution;
+  ReachTube& tube = out.tube;
+  tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
+  attr.slices.resize(static_cast<std::size_t>(slices_) + 1);
+  attr.rng_at_loop.assign(static_cast<std::size_t>(slices_), common::Rng{});
+  attr.volume_prefix.assign(static_cast<std::size_t>(slices_) + 1, 0);
+  attr.first_sole_block.assign(obstacles.size(), TubeAttribution::kNever);
+  attr.obstacle_count = obstacles.size();
+
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
+  TubeScratch scratch(expected, obstacles.size());  // excluded: all zero
+
+  // Appends one record and maintains the divergence bookkeeping. Slices are
+  // processed in increasing order, so "first" assignments are plain min's.
+  auto record = [&](const BlockRecord& rec, std::size_t slice) {
+    SliceAttribution& sa = attr.slices[slice];
+    const auto idx = static_cast<std::uint32_t>(sa.tests.size());
+    sa.tests.push_back(rec);
+    auto [slot, inserted] = sa.by_state.insert(state_bits_key(rec.state));
+    if (inserted) *slot = idx;  // first record wins; replay verifies the bits
+    if (rec.cls == BlockerClass::kSole || rec.cls == BlockerClass::kMulti) {
+      ++attr.blocked_frontier;
+      const auto s32 = static_cast<std::uint32_t>(slice);
+      attr.first_actor_block = std::min(attr.first_actor_block, s32);
+      if (rec.cls == BlockerClass::kSole) {
+        auto& first = attr.first_sole_block[rec.sole_blocker];
+        first = std::min(first, s32);
+      }
+    }
+  };
+
+  build_active_set(obstacles, ego, scratch, common::SliceIdx{0});
+  const BlockRecord seed_rec =
+      classify_state(map, ego, obstacles, scratch.active, common::SliceIdx{0});
+  record(seed_rec, 0);
+  if (seed_rec.cls != BlockerClass::kPassed) {
+    IPRISM_COUNT_ADD("reachtube.blocked_frontier_size", attr.blocked_frontier);
+    return out;  // empty tube; replays may still rescue the seed
+  }
+  tube.slices[0].push_back(ego);
+
+  std::size_t volume_cells = 1;  // the seed's own cell
+  attr.volume_prefix[0] = 1;
+  common::Rng rng(params_.sample_seed);
+  int last_done = 0;
+  propagate(
+      map, obstacles, scratch, tube, volume_cells, rng, 0,
+      [&](const dynamics::VehicleState& ns, common::SliceIdx si) {
+        const BlockRecord rec =
+            classify_state(map, ns, obstacles, scratch.active, si);
+        record(rec, si.value());
+        return rec.cls == BlockerClass::kPassed;
+      },
+      [&](int j) { attr.rng_at_loop[static_cast<std::size_t>(j)] = rng; },
+      [&](int j, std::size_t volume) {
+        attr.volume_prefix[static_cast<std::size_t>(j) + 1] = volume;
+        last_done = j + 1;
+      });
+  // Defensive tail fill past an early pinch-off; replays never start there
+  // (no records exist past last_done), but the prefix array stays monotone.
+  for (std::size_t k = static_cast<std::size_t>(last_done) + 1;
+       k < attr.volume_prefix.size(); ++k) {
+    attr.volume_prefix[k] = attr.volume_prefix[static_cast<std::size_t>(last_done)];
+  }
+
+  IPRISM_COUNT_ADD("reachtube.blocked_frontier_size", attr.blocked_frontier);
+  tube.volume = static_cast<double>(volume_cells);
+  IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");
+  return out;
+}
+
+ReachTube ReachTubeComputer::replay_counterfactual(
+    const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+    std::span<const ObstacleTimeline> obstacles, const AttributedTube& base,
+    bool exclude_all, std::size_t exclude_index, CounterfactualStats* stats) const {
+  const TubeAttribution& attr = base.attribution;
+  IPRISM_CHECK(attr.obstacle_count == obstacles.size() &&
+                   attr.slices.size() == static_cast<std::size_t>(slices_) + 1,
+               "ReachTube: attribution record does not match this obstacles/params set");
+  IPRISM_DCHECK(exclude_all || exclude_index < obstacles.size(),
+                "ReachTube: counterfactual exclude index out of range");
+
+  CounterfactualStats local;
+  CounterfactualStats& st = stats != nullptr ? *stats : local;
+  st = CounterfactualStats{};
+
+  const std::uint32_t jstar =
+      exclude_all ? attr.first_actor_block : attr.first_sole_block[exclude_index];
+  if (jstar == TubeAttribution::kNever) {
+    // The lifted blocker(s) never rejected a candidate: every state_ok
+    // outcome — and therefore the whole propagation — is unchanged.
+    st.free = true;
+    return base.tube;
+  }
+  st.replay_from = jstar;
+
+  ReachTube tube;
+  tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
+
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
+  TubeScratch scratch(expected, obstacles.size());
+  if (exclude_all) {
+    scratch.excluded.assign(obstacles.size(), 1);
+  } else {
+    scratch.excluded[exclude_index] = 1;
+  }
+
+  // Memoized state test: identical candidates take their answer from the
+  // base record (converted for the lifted blockers — exact, see §12); delta
+  // candidates the base never tested fall through to real geometry.
+  auto test = [&](const dynamics::VehicleState& ns, common::SliceIdx si) {
+    const SliceAttribution& sa = attr.slices[si.value()];
+    if (const std::uint32_t* ti = sa.by_state.find(state_bits_key(ns))) {
+      const BlockRecord& rec = sa.tests[*ti];
+      if (bits_equal(rec.state, ns)) {
+        ++st.memo_hits;
+        switch (rec.cls) {
+          case BlockerClass::kPassed: return true;   // removal cannot fail it
+          case BlockerClass::kOffMap: return false;  // no removal rescues it
+          case BlockerClass::kSole:
+            return exclude_all || rec.sole_blocker == exclude_index;
+          case BlockerClass::kMulti: return exclude_all;
+        }
+      }
+    }
+    ++st.fresh_tests;
+    return state_ok(map, ns, obstacles, scratch.active, si);
+  };
+
+  std::size_t volume_cells = 0;
+  common::Rng rng(params_.sample_seed);
+  int first_loop = 0;
+  if (jstar == 0) {
+    // The seed itself was blocker-rejected in the base run; the replay
+    // starts from scratch (memo still answers the shared candidates).
+    build_active_set(obstacles, ego, scratch, common::SliceIdx{0});
+    if (!test(ego, common::SliceIdx{0})) return tube;
+    tube.slices[0].push_back(ego);
+    volume_cells = 1;
+  } else {
+    // Slices before the divergence are bit-identical by induction: no
+    // state_ok outcome differs there, so the exact states (and the RNG
+    // stream) are the base run's — copy, don't recompute.
+    for (std::size_t k = 0; k < jstar; ++k) tube.slices[k] = base.tube.slices[k];
+    volume_cells = attr.volume_prefix[jstar - 1];
+    rng = attr.rng_at_loop[jstar - 1];
+    first_loop = static_cast<int>(jstar) - 1;
+  }
+  propagate(map, obstacles, scratch, tube, volume_cells, rng, first_loop, test,
+            [](int) {}, [](int, std::size_t) {});
+
+  tube.volume = static_cast<double>(volume_cells);
+  IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");
+  return tube;
+}
+
+ReachTube ReachTubeComputer::compute_counterfactual(
+    const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+    std::span<const ObstacleTimeline> obstacles, const AttributedTube& base,
+    std::size_t exclude_index, CounterfactualStats* stats) const {
+  return replay_counterfactual(map, ego, obstacles, base, /*exclude_all=*/false,
+                               exclude_index, stats);
+}
+
+ReachTube ReachTubeComputer::compute_unblocked(const roadmap::DrivableMap& map,
+                                               const dynamics::VehicleState& ego,
+                                               std::span<const ObstacleTimeline> obstacles,
+                                               const AttributedTube& base,
+                                               CounterfactualStats* stats) const {
+  return replay_counterfactual(map, ego, obstacles, base, /*exclude_all=*/true,
+                               /*exclude_index=*/0, stats);
 }
 
 ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,

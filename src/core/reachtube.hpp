@@ -27,6 +27,8 @@
 #include <span>
 #include <vector>
 
+#include "common/flat_hash.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/scene.hpp"
 #include "dynamics/bicycle.hpp"
@@ -59,6 +61,13 @@ struct ReachTubeParams {
   /// result, only wall-clock (DESIGN.md §8). RiskMonitorParams::tube and
   /// SmcTrainConfig::tube plumb it into the monitor and SMC training.
   int num_threads = 0;
+  /// Shared-wavefront counterfactual engine (DESIGN.md §12): propagate the
+  /// base tube once with blocked-by attribution, then derive every |T^{-i}|
+  /// and |T^{∅}| by memoized replay from the first slice actor i changed.
+  /// Results are bit-identical to the from-scratch fan-out for any value of
+  /// this flag (enforced by the CounterfactualDeltaIdentity suites); false
+  /// restores the N+2 independent propagations for A/B benchmarking.
+  bool delta_counterfactuals = true;
   /// Initial reserve (entries) for the per-compute() scratch containers;
   /// 0 = auto (min(max_states_per_slice, 4096)). Purely a performance hint:
   /// the scratch is built on common::FlatHashGrid, whose iteration order is
@@ -95,6 +104,91 @@ struct ReachTube {
   bool empty() const { return volume == 0.0; }
 };
 
+// --- Blocked-by attribution (DESIGN.md §12) --------------------------------
+//
+// The N+2 tubes of one STI evaluation share almost their whole wavefront:
+// |T^{-i}| differs from |T| only downstream of candidates that actor i alone
+// rejected. An *attributed* base propagation records, for every candidate
+// state_ok tested, who (if anyone) rejected it; each counterfactual is then
+// produced by *memoized replay* — the slices before actor i's first sole
+// rejection are copied verbatim, and from there the propagation loop re-runs
+// with collision geometry answered from the record. Fresh geometry runs only
+// on the delta wavefront, and an actor that rejected nothing gets
+// |T^{-i}| ≡ |T| without any re-expansion. Replay executes the exact
+// propagation loop, so results are bit-identical (contents, cardinalities,
+// SplitMix64 emission order — the §9 contract) to from-scratch
+// compute(..., exclude).
+
+/// Classification of one recorded state_ok outcome.
+enum class BlockerClass : std::uint8_t {
+  kPassed = 0,  ///< state survived every test
+  kOffMap = 1,  ///< footprint left the drivable area; no actor removal rescues it
+  kSole = 2,    ///< exactly one obstacle intersected (`sole_blocker` says which)
+  kMulti = 3,   ///< two or more obstacles intersected; no single removal rescues it
+};
+
+/// One blocked-frontier entry: the tested candidate state (full bits, for
+/// exact replay matching) plus its blocker attribution.
+struct BlockRecord {
+  dynamics::VehicleState state;
+  std::uint32_t sole_blocker = 0;  ///< index into the obstacles span, valid for kSole
+  BlockerClass cls = BlockerClass::kPassed;
+};
+
+/// Per-slice memo of every state_ok outcome of an attributed propagation.
+/// Flat containers only (§9): records live in a dense vector; `by_state`
+/// maps a SplitMix64 hash of the state bits to the first record with that
+/// hash (replay verifies full state equality and falls back to geometry on
+/// the ~2^-64 mismatch, so collisions cost time, never correctness).
+struct SliceAttribution {
+  std::vector<BlockRecord> tests;
+  common::FlatHashGrid<std::uint32_t> by_state;
+};
+
+/// Everything a counterfactual replay needs from the attributed base run.
+struct TubeAttribution {
+  static constexpr std::uint32_t kNever = 0xFFFFFFFFu;
+
+  std::vector<SliceAttribution> slices;  ///< [0, slice_count]; [0] holds the seed test
+  /// Sampling-RNG snapshot at the start of each slice loop (loop j produces
+  /// slice j+1), so a replay from slice j* resumes the exact draw sequence
+  /// when `boundary_controls` is off. Unfilled past an early pinch-off.
+  std::vector<common::Rng> rng_at_loop;
+  /// Cumulative |T| through produced slice j — the volume a replay starts
+  /// from after copying slices [0, j*).
+  std::vector<std::size_t> volume_prefix;
+  /// Per obstacle index: earliest slice where it was the *sole* rejector of
+  /// a candidate (kNever = rejected nothing alone → |T^{-i}| ≡ |T| free).
+  std::vector<std::uint32_t> first_sole_block;
+  /// Earliest slice with any actor-attributable rejection (kSole or kMulti);
+  /// |T^{∅}| replays from here (kNever = |T^{∅}| ≡ |T| free).
+  std::uint32_t first_actor_block = kNever;
+  std::size_t obstacle_count = 0;
+  /// Total kSole + kMulti records — the blocked frontier the replays re-expand
+  /// from (telemetry: reachtube.blocked_frontier_size).
+  std::size_t blocked_frontier = 0;
+
+  /// True when `exclude_index` never solely rejected a candidate, i.e. the
+  /// counterfactual is the base tube verbatim.
+  bool blocks_nothing(std::size_t exclude_index) const {
+    return first_sole_block[exclude_index] == kNever;
+  }
+};
+
+/// Base tube plus the attribution record the counterfactual replays consume.
+struct AttributedTube {
+  ReachTube tube;
+  TubeAttribution attribution;
+};
+
+/// How one counterfactual was produced (telemetry + tests).
+struct CounterfactualStats {
+  bool free = false;            ///< no divergence: tube copied from the base
+  std::uint32_t replay_from = 0;  ///< first re-propagated slice (when !free)
+  std::size_t memo_hits = 0;    ///< state_ok answers served from the record
+  std::size_t fresh_tests = 0;  ///< geometry tests actually run (the delta)
+};
+
 class ReachTubeComputer {
  public:
   explicit ReachTubeComputer(const ReachTubeParams& params = {});
@@ -125,7 +219,79 @@ class ReachTubeComputer {
                     common::Seconds t0, std::span<const ActorForecast> forecasts,
                     common::ActorId exclude = common::ActorId::none()) const;
 
+  /// One attributed base propagation: the tube is bit-identical to
+  /// compute(map, ego, obstacles) — attribution only *records*, it never
+  /// steers — plus the blocked-by record the replays below consume.
+  AttributedTube compute_attributed(const roadmap::DrivableMap& map,
+                                    const dynamics::VehicleState& ego,
+                                    std::span<const ObstacleTimeline> obstacles) const;
+
+  /// |T^{-i}| for `obstacles[exclude_index]` by memoized replay of `base`.
+  /// Bit-identical to compute(map, ego, obstacles, obstacles[i].actor_id)
+  /// when actor ids are unique; `base` must come from compute_attributed over
+  /// the same (map, ego, obstacles). When the obstacle rejected nothing the
+  /// base tube is returned verbatim (stats->free, zero re-expansion).
+  ReachTube compute_counterfactual(const roadmap::DrivableMap& map,
+                                   const dynamics::VehicleState& ego,
+                                   std::span<const ObstacleTimeline> obstacles,
+                                   const AttributedTube& base, std::size_t exclude_index,
+                                   CounterfactualStats* stats = nullptr) const;
+
+  /// |T^{∅}| by replay with *all* blockers lifted. Bit-identical to
+  /// compute(map, ego, {}) — an empty obstacles span.
+  ReachTube compute_unblocked(const roadmap::DrivableMap& map,
+                              const dynamics::VehicleState& ego,
+                              std::span<const ObstacleTimeline> obstacles,
+                              const AttributedTube& base,
+                              CounterfactualStats* stats = nullptr) const;
+
  private:
+  struct TubeScratch;
+
+  /// Shared propagation loop: runs slice loops [first_loop, slice_count)
+  /// given tube.slices[first_loop] (and everything before it) already
+  /// populated, with `test` answering "does this candidate survive slice j".
+  /// `on_loop_begin(j)` / `on_slice_done(j, volume)` are the attribution
+  /// recorder's hooks; the plain and replay paths pass no-ops that inline
+  /// away. Every caller — plain, attributed, replay — funnels through this
+  /// one loop, which is the §12 bit-identity argument: a replay differs from
+  /// from-scratch only in where state_ok answers come from, and those
+  /// answers are proven equal case by case.
+  template <class TestState, class OnLoopBegin, class OnSliceDone>
+  void propagate(const roadmap::DrivableMap& map,
+                 std::span<const ObstacleTimeline> obstacles, TubeScratch& scratch,
+                 ReachTube& tube, std::size_t& volume_cells, common::Rng& rng,
+                 int first_loop, TestState&& test, OnLoopBegin&& on_loop_begin,
+                 OnSliceDone&& on_slice_done) const;
+
+  /// Replay core shared by compute_counterfactual / compute_unblocked:
+  /// `exclude_index` is ignored when `exclude_all` is set.
+  ReachTube replay_counterfactual(const roadmap::DrivableMap& map,
+                                  const dynamics::VehicleState& ego,
+                                  std::span<const ObstacleTimeline> obstacles,
+                                  const AttributedTube& base, bool exclude_all,
+                                  std::size_t exclude_index,
+                                  CounterfactualStats* stats) const;
+
+  /// Rebuilds `scratch.active` for one slice: obstacles whose footprint disc
+  /// cannot touch the seed's conservative reachable disc — or whose index is
+  /// flagged in `scratch.excluded` — are filtered out.
+  void build_active_set(std::span<const ObstacleTimeline> obstacles,
+                        const dynamics::VehicleState& seed, TubeScratch& scratch,
+                        common::SliceIdx slice) const;
+
+  /// Fail-fast validation that every timeline was sliced for these params
+  /// and carries precomputed circumradii.
+  void check_timelines(std::span<const ObstacleTimeline> obstacles) const;
+
+  /// Full-attribution variant of state_ok: never stops at the first
+  /// intersecting obstacle — it keeps scanning until a *second* blocker is
+  /// found (two is enough: no single-actor removal rescues a kMulti).
+  BlockRecord classify_state(const roadmap::DrivableMap& map,
+                             const dynamics::VehicleState& s,
+                             std::span<const ObstacleTimeline> obstacles,
+                             std::span<const std::uint32_t> active,
+                             common::SliceIdx slice) const;
   /// Collision/off-map test against the slice's *active* obstacle subset
   /// (`active` holds indices into `obstacles`; the caller filters once per
   /// slice against a conservative reachable-disc bound, so the innermost

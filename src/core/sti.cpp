@@ -25,13 +25,125 @@ namespace {
 
 double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
 
+/// The delta engine excludes counterfactual actors by obstacle *index*; the
+/// from-scratch reference excludes by ActorId, which removes every timeline
+/// carrying that id. The two agree exactly when no valid id repeats — the
+/// normal case, since forecasts come one per actor. Duplicate ids (possible
+/// with hand-built forecast lists) fall back to from-scratch per-actor tubes
+/// so the engines stay bit-identical.
+bool has_duplicate_valid_ids(std::span<const ActorForecast> forecasts) {
+  std::vector<int> ids;
+  ids.reserve(forecasts.size());
+  for (const ActorForecast& f : forecasts) {
+    if (common::ActorId{f.id}.valid()) ids.push_back(f.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) != ids.end();
+}
+
 }  // namespace
 
 StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
                                  const dynamics::VehicleState& ego, common::Seconds t0,
                                  std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
+  if (!tube_.params().delta_counterfactuals) {
+    return compute_scratch(map, ego, obstacles, forecasts);
+  }
 
+  StiResult out;
+  // Wave 1: one attributed propagation — |T| plus the blocked-by record
+  // every derived tube replays from (DESIGN.md §12).
+  AttributedTube base;
+  {
+    IPRISM_SCOPED_TIMER("sti.wave1", "sti");
+    base = tube_.compute_attributed(map, ego, obstacles);
+  }
+  out.volume_all = base.tube.volume;
+
+  const bool dup_ids = has_duplicate_valid_ids(forecasts);
+
+  // Wave 2: |T^{∅}| and the N counterfactuals T^{/i} (Eq. 4), all derived
+  // from the shared base and fanned across the pool. Free tubes (actor
+  // rejected nothing) return the base volume without touching geometry;
+  // per-task work is uneven, but the pool's one-task-per-index submission
+  // already load-balances at the finest possible grain. Aggregation is by
+  // index, so results are bit-identical to the serial loop.
+  std::vector<double> vol(forecasts.size() + 1, 0.0);
+  {
+    IPRISM_SCOPED_TIMER("sti.wave2", "sti");
+    IPRISM_COUNT_ADD("sti.counterfactuals", forecasts.size());
+    common::parallel_for_each(pool_.get(), forecasts.size() + 1, [&](std::size_t k) {
+      if (k == 0) {
+        // |T^{∅}|: every blocker lifted. Identical to a propagation against
+        // an empty obstacles span (active-set is empty either way).
+        if (base.attribution.first_actor_block == TubeAttribution::kNever) {
+          vol[0] = base.tube.volume;
+          return;
+        }
+        IPRISM_SCOPED_TIMER("sti.counterfactual.delta", "sti");
+        CounterfactualStats st;
+        vol[0] = tube_.compute_unblocked(map, ego, obstacles, base, &st).volume;
+        IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
+        return;
+      }
+      const std::size_t i = k - 1;
+      const common::ActorId id{forecasts[i].id};
+      if (!id.valid()) {
+        // An anonymous actor cannot be excluded: from-scratch would drop
+        // nothing, so |T^{/i}| is |T| by definition.
+        vol[k] = out.volume_all;
+        IPRISM_COUNT("sti.cf_free");
+        return;
+      }
+      if (dup_ids) {
+        IPRISM_SCOPED_TIMER("sti.counterfactual.scratch", "sti");
+        vol[k] = tube_.compute(map, ego, obstacles, id).volume;
+        return;
+      }
+      if (base.attribution.blocks_nothing(i)) {
+        vol[k] = out.volume_all;
+        IPRISM_COUNT("sti.cf_free");
+        return;
+      }
+      IPRISM_SCOPED_TIMER("sti.counterfactual.delta", "sti");
+      CounterfactualStats st;
+      vol[k] = tube_.compute_counterfactual(map, ego, obstacles, base, i, &st).volume;
+      IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
+    });
+  }
+  out.volume_empty = vol[0];
+  IPRISM_DCHECK(out.volume_all >= 0.0 && out.volume_empty >= 0.0,
+                "STI: tube volumes must be non-negative");
+
+  if (out.volume_empty <= 0.0) {
+    // No escape routes even without actors (ego off the drivable area);
+    // actor-attributable risk is undefined — report zero rather than
+    // dividing by zero. (Every derived tube was free in this case: an
+    // off-map seed records no actor-attributable rejection.)
+    for (const auto& f : forecasts) out.per_actor.emplace_back(f.id, 0.0);
+    return out;
+  }
+
+  out.combined = clamp01((out.volume_empty - out.volume_all) / out.volume_empty);
+
+  out.per_actor.reserve(forecasts.size());
+  for (std::size_t i = 0; i < forecasts.size(); ++i) {
+    // clamp01 precondition: the raw ratio must at least be a number — a NaN
+    // here (0/0 escaping the volume_empty guard above) would clamp silently.
+    IPRISM_DCHECK(std::isfinite(vol[i + 1]),
+                  "STI: counterfactual volume must be finite");
+    out.per_actor.emplace_back(
+        forecasts[i].id,
+        clamp01((vol[i + 1] - out.volume_all) / out.volume_empty));
+  }
+  return out;
+}
+
+StiResult StiCalculator::compute_scratch(const roadmap::DrivableMap& map,
+                                         const dynamics::VehicleState& ego,
+                                         std::span<const ObstacleTimeline> obstacles,
+                                         std::span<const ActorForecast> forecasts) const {
   StiResult out;
   // Wave 1: |T| and |T^{∅}| together — the degenerate-denominator guard
   // below needs both before any counterfactual is worth computing. Each tube
@@ -52,9 +164,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
                 "STI: tube volumes must be non-negative");
 
   if (out.volume_empty <= 0.0) {
-    // No escape routes even without actors (ego off the drivable area);
-    // actor-attributable risk is undefined — report zero rather than
-    // dividing by zero.
+    // See the delta path: zero rather than a division by zero.
     for (const auto& f : forecasts) out.per_actor.emplace_back(f.id, 0.0);
     return out;
   }
@@ -69,6 +179,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
     IPRISM_SCOPED_TIMER("sti.wave2", "sti");
     IPRISM_COUNT_ADD("sti.counterfactuals", forecasts.size());
     common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
+      IPRISM_SCOPED_TIMER("sti.counterfactual.scratch", "sti");
       vol_without[i] =
           tube_.compute(map, ego, obstacles, common::ActorId{forecasts[i].id}).volume;
     });
@@ -76,8 +187,6 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
 
   out.per_actor.reserve(forecasts.size());
   for (std::size_t i = 0; i < forecasts.size(); ++i) {
-    // clamp01 precondition: the raw ratio must at least be a number — a NaN
-    // here (0/0 escaping the volume_empty guard above) would clamp silently.
     IPRISM_DCHECK(std::isfinite(vol_without[i]),
                   "STI: counterfactual volume must be finite");
     out.per_actor.emplace_back(
@@ -91,6 +200,29 @@ double StiCalculator::combined(const roadmap::DrivableMap& map,
                                const dynamics::VehicleState& ego, common::Seconds t0,
                                std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
+  if (!tube_.params().delta_counterfactuals) {
+    return combined_scratch(map, ego, obstacles);
+  }
+  IPRISM_SCOPED_TIMER("sti.combined", "sti");
+  // One attributed propagation; |T^{∅}| derives from it by replay (free when
+  // nothing was actor-blocked), so the two-tube wave is now one-plus-a-delta.
+  const AttributedTube base = tube_.compute_attributed(map, ego, obstacles);
+  const double vol_all = base.tube.volume;
+  double vol_empty = vol_all;
+  if (base.attribution.first_actor_block != TubeAttribution::kNever) {
+    CounterfactualStats st;
+    vol_empty = tube_.compute_unblocked(map, ego, obstacles, base, &st).volume;
+    IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
+  }
+  IPRISM_DCHECK(vol_all >= 0.0 && vol_empty >= 0.0,
+                "STI: tube volumes must be non-negative");
+  if (vol_empty <= 0.0) return 0.0;
+  return clamp01((vol_empty - vol_all) / vol_empty);
+}
+
+double StiCalculator::combined_scratch(const roadmap::DrivableMap& map,
+                                       const dynamics::VehicleState& ego,
+                                       std::span<const ObstacleTimeline> obstacles) const {
   IPRISM_SCOPED_TIMER("sti.combined", "sti");
   double base[2] = {0.0, 0.0};
   common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {

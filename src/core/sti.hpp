@@ -36,10 +36,16 @@ struct StiResult {
 };
 
 // The N+2 tubes an evaluation needs — |T|, |T^{∅}|, and one counterfactual
-// per actor — are independent: ReachTubeComputer::compute is const and each
-// call owns its seeded RNG. With `ReachTubeParams::num_threads > 0` the
-// calculator fans them out over a common::ThreadPool and aggregates by
-// index, so parallel results are bit-identical to serial ones (DESIGN.md §8).
+// per actor — share almost their whole wavefront. With the default
+// `ReachTubeParams::delta_counterfactuals`, the base |T| is propagated once
+// with blocked-by attribution and every other tube is derived from it by
+// memoized replay (DESIGN.md §12): actors that rejected nothing are free,
+// the rest re-run fresh geometry only on their delta wavefront. The N+1
+// derived tubes are independent const reads of the attributed base, so with
+// `num_threads > 0` they fan out over a common::ThreadPool and aggregate by
+// index — parallel results stay bit-identical to serial ones (DESIGN.md §8),
+// and both engines produce bit-identical StiResults (the
+// CounterfactualDeltaIdentity suites enforce this).
 class StiCalculator {
  public:
   explicit StiCalculator(const ReachTubeParams& params = {});
@@ -57,6 +63,17 @@ class StiCalculator {
                   common::Seconds t0, std::span<const ActorForecast> forecasts) const;
 
  private:
+  /// The pre-§12 engine: N+2 independent propagations. Kept behind
+  /// `delta_counterfactuals = false` for A/B benchmarking and as the
+  /// from-scratch reference the identity suites compare against.
+  StiResult compute_scratch(const roadmap::DrivableMap& map,
+                            const dynamics::VehicleState& ego,
+                            std::span<const ObstacleTimeline> obstacles,
+                            std::span<const ActorForecast> forecasts) const;
+  double combined_scratch(const roadmap::DrivableMap& map,
+                          const dynamics::VehicleState& ego,
+                          std::span<const ObstacleTimeline> obstacles) const;
+
   ReachTubeComputer tube_;
   /// Null when params.num_threads == 0 (serial). Shared so copies of the
   /// calculator reuse one pool; submit() is thread-safe.

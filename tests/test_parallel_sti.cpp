@@ -203,6 +203,149 @@ TEST(TubeCapacityInvariance, StiBitIdenticalAcrossScratchReservesAndThreads) {
   }
 }
 
+// --- CounterfactualDeltaIdentity (DESIGN.md §12) ---------------------------
+//
+// The shared-wavefront engine derives every counterfactual tube from one
+// attributed base propagation by memoized replay. Its contract is *exact*
+// identity — contents, cardinalities, SplitMix64 emission order — with the
+// from-scratch compute(..., exclude) it replaces, for every typology, thread
+// count, and scratch reserve. These suites are the executable form of that
+// contract and run in the CI tsan job (the replay fan-out is the new
+// concurrent workload).
+
+TEST(CounterfactualDeltaIdentity, TubesBitIdenticalToFromScratchAcrossTypologies) {
+  const scenario::ScenarioFactory factory;
+  for (scenario::Typology typology : scenario::kAllTypologies) {
+    SCOPED_TRACE(std::string(scenario::typology_name(typology)));
+    const sim::World world = typology_world(factory, typology);
+    const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+    const core::ReachTubeComputer rt;
+    const auto obstacles =
+        rt.sample_obstacles(forecasts, common::Seconds{world.time()});
+    const core::AttributedTube base =
+        rt.compute_attributed(world.map(), world.ego().state, obstacles);
+
+    // Attribution only records — the base tube is the plain tube.
+    expect_same_tube(rt.compute(world.map(), world.ego().state, obstacles), base.tube,
+                     0);
+
+    // |T^{∅}| by replay vs the from-scratch no-obstacles tube.
+    core::CounterfactualStats empty_stats;
+    expect_same_tube(
+        rt.compute(world.map(), world.ego().state,
+                   std::span<const core::ObstacleTimeline>{}),
+        rt.compute_unblocked(world.map(), world.ego().state, obstacles, base,
+                             &empty_stats),
+        0);
+
+    // Every |T^{/i}| by replay vs from-scratch compute(..., exclude).
+    for (std::size_t i = 0; i < forecasts.size(); ++i) {
+      SCOPED_TRACE("actor_index=" + std::to_string(i));
+      core::CounterfactualStats stats;
+      expect_same_tube(
+          rt.compute(world.map(), world.ego().state, obstacles,
+                     common::ActorId{forecasts[i].id}),
+          rt.compute_counterfactual(world.map(), world.ego().state, obstacles, base, i,
+                                    &stats),
+          0);
+      // A free counterfactual must really have skipped re-expansion.
+      if (stats.free) EXPECT_EQ(stats.fresh_tests, 0u);
+    }
+  }
+}
+
+TEST(CounterfactualDeltaIdentity, StiMatchesScratchEngineAcrossThreadsAndReserves) {
+  const scenario::ScenarioFactory factory;
+  for (scenario::Typology typology : scenario::kAllTypologies) {
+    SCOPED_TRACE(std::string(scenario::typology_name(typology)));
+    const sim::World world = typology_world(factory, typology);
+    const auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+    core::ReachTubeParams scratch_params;
+    scratch_params.delta_counterfactuals = false;
+    const core::StiCalculator scratch(scratch_params);
+    const core::StiResult reference = scratch.compute(
+        world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
+    const double reference_combined = scratch.combined(
+        world.map(), world.ego().state, common::Seconds{world.time()}, forecasts);
+
+    for (std::size_t reserve : kScratchReserves) {
+      for (int threads : {0, 2, 4}) {
+        core::ReachTubeParams params;
+        params.scratch_reserve = reserve;
+        params.num_threads = threads;
+        const core::StiCalculator delta(params);
+        SCOPED_TRACE("scratch_reserve=" + std::to_string(reserve));
+        expect_bit_identical(reference,
+                             delta.compute(world.map(), world.ego().state,
+                                           common::Seconds{world.time()}, forecasts),
+                             threads);
+        EXPECT_EQ(reference_combined,
+                  delta.combined(world.map(), world.ego().state,
+                                 common::Seconds{world.time()}, forecasts))
+            << "num_threads=" << threads << " scratch_reserve=" << reserve;
+      }
+    }
+  }
+}
+
+TEST(CounterfactualDeltaIdentity, ActorThatBlocksNothingIsFree) {
+  const scenario::ScenarioFactory factory;
+  const sim::World world = typology_world(factory, scenario::Typology::kLeadSlowdown);
+  auto forecasts = core::cvtr_forecasts(world, 3.0, 0.25);
+
+  // A static actor far outside the ego's reachable disc: it can never reject
+  // a candidate, so its counterfactual must be the base tube verbatim, with
+  // zero re-expansion work.
+  core::ActorForecast far_actor;
+  far_actor.id = 9999;
+  far_actor.dims = dynamics::Dimensions{4.5, 2.0};
+  far_actor.trajectory.append(common::Seconds{world.time()},
+                              dynamics::VehicleState{5000.0, 5000.0, 0.0, 0.0});
+  forecasts.push_back(far_actor);
+  const std::size_t far_index = forecasts.size() - 1;
+
+  const core::ReachTubeComputer rt;
+  const auto obstacles = rt.sample_obstacles(forecasts, common::Seconds{world.time()});
+  const core::AttributedTube base =
+      rt.compute_attributed(world.map(), world.ego().state, obstacles);
+  ASSERT_TRUE(base.attribution.blocks_nothing(far_index));
+
+  core::CounterfactualStats stats;
+  const core::ReachTube cf = rt.compute_counterfactual(
+      world.map(), world.ego().state, obstacles, base, far_index, &stats);
+  EXPECT_TRUE(stats.free);
+  EXPECT_EQ(stats.fresh_tests, 0u);
+  EXPECT_EQ(stats.memo_hits, 0u);
+  expect_same_tube(base.tube, cf, 0);
+  expect_same_tube(rt.compute(world.map(), world.ego().state, obstacles,
+                              common::ActorId{far_actor.id}),
+                   cf, 0);
+}
+
+TEST(CounterfactualDeltaIdentity, MonitorAssessmentsUnchangedByEngine) {
+  // End-to-end invariance: risk levels and riskiest-actor attribution must
+  // not depend on which counterfactual engine the monitor's calculator uses.
+  const scenario::ScenarioFactory factory;
+  core::RiskMonitorParams delta_params;  // delta_counterfactuals defaults true
+  core::RiskMonitorParams scratch_params;
+  scratch_params.tube.delta_counterfactuals = false;
+  core::RiskMonitor delta(delta_params);
+  core::RiskMonitor scratch(scratch_params);
+
+  sim::World world = typology_world(factory, scenario::Typology::kGhostCutIn);
+  for (int step = 0; step < 30; ++step) {
+    world.step(dynamics::Control{0.0, 0.0});
+    const auto a = scratch.update(world);
+    const auto b = delta.update(world);
+    EXPECT_EQ(a.sti_combined, b.sti_combined) << "step " << step;
+    EXPECT_EQ(a.level, b.level) << "step " << step;
+    EXPECT_EQ(a.riskiest_actor, b.riskiest_actor) << "step " << step;
+    EXPECT_EQ(a.riskiest_sti, b.riskiest_sti) << "step " << step;
+  }
+}
+
 TEST(ParallelSti, NumThreadsValidation) {
   core::ReachTubeParams params;
   params.num_threads = -1;

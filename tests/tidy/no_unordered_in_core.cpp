@@ -3,11 +3,14 @@
 // The real check scopes itself to /src/core/; the harness re-points
 // CorePathRegex at tests/tidy/ via --config so this file stands in for a
 // core TU. tools/check_tidy_fixtures.sh asserts clang-tidy flags exactly
-// the `CHECK-FLAG` lines: std::unordered_* in any spelling (direct, alias,
-// through a typedef), while ordered std::map stays silent.
+// the `CHECK-FLAG` lines: std::unordered_* and ordered std::map/std::set in
+// any spelling (direct, alias, through a typedef), while flat containers and
+// std::vector stay silent.
 
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -20,8 +23,14 @@ std::unordered_set<long> visited_cells;        // CHECK-FLAG
 using ActorIndex = std::unordered_map<std::string, int>;  // CHECK-FLAG
 ActorIndex actors;                                        // CHECK-FLAG
 
+// Ordered node-based containers joined the ban with the §12 frontier
+// containers: a pointer chase per lookup in the propagation hot loop.
+std::map<int, double> ordered_volumes;   // CHECK-FLAG
+std::set<long> frontier_cells;           // CHECK-FLAG
+std::multimap<int, int> slice_overlaps;  // CHECK-FLAG
+
 // --- must stay silent ------------------------------------------------------
 
-std::map<int, double> ordered_volumes;  // deterministic iteration: allowed
+std::vector<double> slice_volumes;  // contiguous, insertion-ordered: allowed
 
 }  // namespace iprism::core

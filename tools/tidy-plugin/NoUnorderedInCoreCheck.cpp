@@ -19,11 +19,17 @@ void NoUnorderedInCoreCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
 
 void NoUnorderedInCoreCheck::registerMatchers(MatchFinder *Finder) {
   // Matching every written mention of a type whose *canonical* form is a
-  // std::unordered_* specialization catches direct uses, aliases, typedefs,
-  // and dependent uses once instantiated.
+  // banned-container specialization catches direct uses, aliases, typedefs,
+  // and dependent uses once instantiated. Ordered std::map/std::set joined
+  // the list with the §12 attribution/frontier containers: node-based
+  // associative containers cost a pointer chase per lookup in the propagation
+  // hot loop, and every keyed container in src/core now goes through
+  // common::FlatHashGrid / common::FlatKeySet for both speed and the
+  // insertion-order-iteration determinism contract.
   const auto UnorderedDecl = classTemplateSpecializationDecl(hasAnyName(
       "::std::unordered_map", "::std::unordered_set", "::std::unordered_multimap",
-      "::std::unordered_multiset"));
+      "::std::unordered_multiset", "::std::map", "::std::set", "::std::multimap",
+      "::std::multiset"));
   Finder->addMatcher(
       typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
                   recordType(hasDeclaration(UnorderedDecl))))))
@@ -52,11 +58,13 @@ void NoUnorderedInCoreCheck::check(const MatchFinder::MatchResult &Result) {
   if (!locationInFilesMatching(SM, Loc, CorePath))
     return;
   diag(Loc,
-       "std::unordered_* is banned in src/core: its iteration order is "
+       "node-based std associative containers (unordered_* and ordered "
+       "map/set) are banned in src/core: unordered_* iteration order is "
        "observable here (it feeds surviving-representative selection) and "
-       "depends on bucket count and standard library; use "
+       "depends on bucket count and standard library, and ordered map/set "
+       "pay a pointer chase per lookup in the propagation hot loop; use "
        "common::FlatHashGrid / common::FlatKeySet (src/common/flat_hash.hpp) "
-       "whose order is insertion order by construction (DESIGN.md §9)");
+       "whose order is insertion order by construction (DESIGN.md §9, §12)");
 }
 
 } // namespace clang::tidy::iprism

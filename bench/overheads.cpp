@@ -22,16 +22,31 @@
 //   ./overheads --require-release \
 //     --benchmark_filter=BM_CounterfactualFanout \
 //     --benchmark_out=BENCH_counterfactual_delta.json --benchmark_out_format=json
+//
+// The BM_GeomKernel family measures the staged batch kernels behind the
+// propagation rewrite (DESIGN.md §13) against their scalar per-lane
+// counterparts. Recorded as BENCH_geom_kernel.json:
+//   ./overheads --require-release \
+//     --benchmark_filter=BM_GeomKernel \
+//     --benchmark_out=BENCH_geom_kernel.json --benchmark_out_format=json
 #include <cmath>
+#include <cstddef>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "bench_util.hpp"
 #include "core/pkl.hpp"
 #include "core/ttc.hpp"
+#include "dynamics/bicycle.hpp"
 #include "dynamics/cvtr.hpp"
+#include "dynamics/step_batch.hpp"
+#include "dynamics/trajectory.hpp"
+#include "geom/batch.hpp"
+#include "geom/obb.hpp"
 #include "smc/controller.hpp"
 #include "smc/features.hpp"
 #include "ubench.hpp"
@@ -378,6 +393,148 @@ void BM_CounterfactualFanoutDelta(ubench::State& state) {
   }
 }
 UBENCH(BM_CounterfactualFanoutDelta)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// BM_GeomKernel*: the staged batch kernels of the tube propagation
+// (DESIGN.md §13) against their scalar per-lane counterparts, at block sizes
+// spanning one parent's controls (16), a typical partial flush (256), and a
+// multiple of the kLaneBlock flush threshold (4096). Recorded as
+// BENCH_geom_kernel.json from the release preset:
+//   ./overheads --require-release --benchmark_filter=BM_GeomKernel \
+//     --benchmark_out=BENCH_geom_kernel.json --benchmark_out_format=json
+
+/// SoA lane material shared by the kernel benchmarks (worst case: every lane
+/// a distinct state/control drawn across the tube's operating envelope).
+struct KernelLanes {
+  explicit KernelLanes(std::size_t n) {
+    common::Rng rng(17);
+    for (std::size_t i = 0; i < n; ++i) {
+      x.push_back(rng.uniform(-50.0, 400.0));
+      y.push_back(rng.uniform(-10.0, 20.0));
+      heading.push_back(rng.uniform(-3.1, 3.1));
+      speed.push_back(rng.uniform(0.0, 40.0));
+      accel.push_back(rng.uniform(-6.0, 3.0));
+      steer.push_back(rng.uniform(-0.35, 0.35));
+      tan_steer.push_back(std::tan(steer.back()));
+    }
+    nx.resize(n);
+    ny.resize(n);
+    nh.resize(n);
+    nv.resize(n);
+    ax.resize(n);
+    ay.resize(n);
+    lo_x.resize(n);
+    lo_y.resize(n);
+    hi_x.resize(n);
+    hi_y.resize(n);
+    mask.resize(n);
+  }
+
+  std::vector<double> x, y, heading, speed, accel, steer, tan_steer;
+  std::vector<double> nx, ny, nh, nv, ax, ay, lo_x, lo_y, hi_x, hi_y;
+  std::vector<unsigned char> mask;
+};
+
+void BM_GeomKernelStep(ubench::State& state) {
+  // Stage 1: SoA bicycle step over the whole block.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  const dynamics::BicycleModel model;
+  for (auto _ : state) {
+    dynamics::step_batch(n,
+                         {lanes.x.data(), lanes.y.data(), lanes.heading.data(),
+                          lanes.speed.data(), lanes.accel.data(), lanes.tan_steer.data()},
+                         {lanes.nx.data(), lanes.ny.data(), lanes.nh.data(),
+                          lanes.nv.data()},
+                         0.25, model.wheelbase().value(), model.max_speed().value());
+    ubench::DoNotOptimize(lanes.nx.data());
+  }
+}
+UBENCH(BM_GeomKernelStep)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GeomKernelStepScalar(ubench::State& state) {
+  // Scalar counterpart: one out-of-line model.step per lane.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  const dynamics::BicycleModel model;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const dynamics::VehicleState ns =
+          model.step({lanes.x[i], lanes.y[i], lanes.heading[i], lanes.speed[i]},
+                     {lanes.accel[i], lanes.steer[i]}, common::Seconds{0.25});
+      lanes.nx[i] = ns.x;
+      lanes.ny[i] = ns.y;
+      lanes.nh[i] = ns.heading;
+      lanes.nv[i] = ns.speed;
+    }
+    ubench::DoNotOptimize(lanes.nx.data());
+  }
+}
+UBENCH(BM_GeomKernelStepScalar)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GeomKernelFootprint(ubench::State& state) {
+  // Stage 2: footprint axes + corner AABBs for the whole block.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  for (auto _ : state) {
+    geom::footprint_axes(n, lanes.heading.data(), lanes.ax.data(), lanes.ay.data());
+    geom::footprint_aabbs(n, lanes.x.data(), lanes.y.data(), lanes.ax.data(),
+                          lanes.ay.data(), 2.25, 1.0, lanes.lo_x.data(),
+                          lanes.lo_y.data(), lanes.hi_x.data(), lanes.hi_y.data());
+    ubench::DoNotOptimize(lanes.lo_x.data());
+  }
+}
+UBENCH(BM_GeomKernelFootprint)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GeomKernelFootprintScalar(ubench::State& state) {
+  // Scalar counterpart: one OrientedBox construction + aabb() per lane.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  const dynamics::Dimensions dims{4.5, 2.0};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::OrientedBox box = dynamics::footprint(
+          {lanes.x[i], lanes.y[i], lanes.heading[i], lanes.speed[i]}, dims);
+      const geom::Aabb bb = box.aabb();
+      lanes.lo_x[i] = bb.lo.x;
+      lanes.lo_y[i] = bb.lo.y;
+      lanes.hi_x[i] = bb.hi.x;
+      lanes.hi_y[i] = bb.hi.y;
+    }
+    ubench::DoNotOptimize(lanes.lo_x.data());
+  }
+}
+UBENCH(BM_GeomKernelFootprintScalar)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GeomKernelCull(ubench::State& state) {
+  // Stage 3: circumradius broad-phase cull of one obstacle vs the block.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  const double r_sq = 8.0 * 8.0;
+  for (auto _ : state) {
+    ubench::DoNotOptimize(geom::broad_phase_cull(n, lanes.x.data(), lanes.y.data(),
+                                                 120.0, 5.0, r_sq, lanes.mask.data()));
+  }
+}
+UBENCH(BM_GeomKernelCull)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GeomKernelCullScalar(ubench::State& state) {
+  // Scalar counterpart: the per-lane distance predicate as state_ok ran it.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  KernelLanes lanes(n);
+  const geom::Vec2 center{120.0, 5.0};
+  const double r_sq = 8.0 * 8.0;
+  for (auto _ : state) {
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool hit = !((center - geom::Vec2{lanes.x[i], lanes.y[i]}).norm_sq() > r_sq);
+      lanes.mask[i] = hit ? 1 : 0;
+      survivors += hit ? 1 : 0;
+    }
+    ubench::DoNotOptimize(survivors);
+  }
+}
+UBENCH(BM_GeomKernelCullScalar)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_CvtrForecasts(ubench::State& state) {
   auto& f = fixture();

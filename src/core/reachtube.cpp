@@ -8,9 +8,20 @@
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "dynamics/step_batch.hpp"
+#include "geom/batch.hpp"
 
 namespace iprism::core {
 namespace {
+
+/// Lane-block size for the staged propagation (DESIGN.md §13): parent×control
+/// pairs are queued into structure-of-arrays buffers until at least this many
+/// lanes are pending, then batch-stepped, batch-analyzed, and consumed by one
+/// sequential decision pass. The value trades cache residency of the lane
+/// buffers against amortizing per-block fixed costs; results are independent
+/// of it — every kernel is a pure per-lane computation and the decision pass
+/// preserves candidate order.
+constexpr std::size_t kLaneBlock = 1024;
 
 /// Packs a quantized (x, y) cell into a hashable key. Coordinates are
 /// offset to keep them positive over any realistic map extent. `inv_cell`
@@ -83,13 +94,58 @@ struct ReachTubeComputer::TubeScratch {
   /// byte test per obstacle.
   std::vector<char> excluded;
 
-  TubeScratch(std::size_t expected, std::size_t obstacle_count) {
+  /// Structure-of-arrays lane buffers for the staged propagation (§13). A
+  /// "lane" is one pending parent×control pair; `count` lanes are queued,
+  /// then the whole block runs through stages 1–4 before the decision pass
+  /// consumes it. Every array is sized once to the scratch's lane capacity
+  /// (kLaneBlock plus one parent's worst-case control count, so the flush
+  /// threshold can never overflow a block), keeping the slice loop free of
+  /// lane-buffer allocations.
+  struct Lanes {
+    std::size_t count = 0;
+    // Stage-0 inputs, queued parent-major in exact scalar candidate order.
+    std::vector<double> px, py, ph, pv, accel, tan_steer;
+    // Stage-1 outputs: batch-stepped successor states and their cell keys.
+    std::vector<double> nx, ny, nh, nv;
+    std::vector<std::uint64_t> key;
+    // Stage-2/3 outputs: footprint long axis, corner AABB, broad-phase mask.
+    std::vector<double> ax, ay, lo_x, lo_y, hi_x, hi_y;
+    std::vector<unsigned char> broad;
+    // Stage-4 outputs: saturating hit count and the first hitting obstacle.
+    std::vector<std::uint8_t> hits;
+    std::vector<std::uint32_t> first_hit;
+
+    void allocate(std::size_t cap) {
+      for (auto* v : {&px, &py, &ph, &pv, &accel, &tan_steer, &nx, &ny, &nh, &nv, &ax,
+                      &ay, &lo_x, &lo_y, &hi_x, &hi_y}) {
+        v->resize(cap);
+      }
+      key.resize(cap);
+      broad.resize(cap);
+      hits.resize(cap);
+      first_hit.resize(cap);
+    }
+
+    void push(const dynamics::VehicleState& s, double a, double tan_phi) {
+      px[count] = s.x;
+      py[count] = s.y;
+      ph[count] = s.heading;
+      pv[count] = s.speed;
+      accel[count] = a;
+      tan_steer[count] = tan_phi;
+      ++count;
+    }
+  };
+  Lanes lanes;
+
+  TubeScratch(std::size_t expected, std::size_t obstacle_count, std::size_t lane_capacity) {
     cells.reserve(expected);
     occupied.reserve(expected);
     candidates.reserve(expected);
     kept.reserve(expected);
     active.reserve(obstacle_count);
     excluded.assign(obstacle_count, 0);
+    lanes.allocate(lane_capacity);
   }
 
   void next_slice() {
@@ -144,6 +200,12 @@ ReachTubeComputer::ReachTubeComputer(const ReachTubeParams& params)
     for (double phi : {lim.steer_min, 0.0, lim.steer_max}) {
       boundary_set_.push_back({a, phi});
     }
+  }
+  // tan(phi) per boundary control, hoisted out of the step kernel: the same
+  // libm call on the same input bits the scalar model makes per step.
+  boundary_tan_.reserve(boundary_set_.size());
+  for (const dynamics::Control& u : boundary_set_) {
+    boundary_tan_.push_back(std::tan(u.steer));
   }
 }
 
@@ -221,13 +283,12 @@ BlockRecord ReachTubeComputer::classify_state(const roadmap::DrivableMap& map,
   return rec;  // kPassed, or kSole with the one blocker recorded
 }
 
-template <class TestState, class OnLoopBegin, class OnSliceDone>
-void ReachTubeComputer::propagate(const roadmap::DrivableMap& map,
-                                  std::span<const ObstacleTimeline> obstacles,
-                                  TubeScratch& scratch, ReachTube& tube,
+template <class Activate, class Analyze, class Consult, class OnLoopBegin,
+          class OnSliceDone>
+void ReachTubeComputer::propagate(TubeScratch& scratch, ReachTube& tube,
                                   std::size_t& volume_cells, common::Rng& rng,
-                                  int first_loop, TestState&& test,
-                                  OnLoopBegin&& on_loop_begin,
+                                  int first_loop, Activate&& activate, Analyze&& analyze,
+                                  Consult&& consult, OnLoopBegin&& on_loop_begin,
                                   OnSliceDone&& on_slice_done) const {
   [[maybe_unused]] std::size_t slices_processed = 0;
   [[maybe_unused]] std::size_t states_expanded = 0;
@@ -235,14 +296,10 @@ void ReachTubeComputer::propagate(const roadmap::DrivableMap& map,
   auto& cells = scratch.cells;
   auto& occupied = scratch.occupied;
   auto& candidates = scratch.candidates;
-  auto& active = scratch.active;
+  auto& lanes = scratch.lanes;
 
-  const std::size_t expected =
-      params_.scratch_reserve > 0
-          ? params_.scratch_reserve
-          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
   const double inv_cell = 1.0 / params_.cell_size;
-  const common::Seconds dt{params_.dt};  // hoisted: one conversion per propagation
+  const double max_speed = model_.max_speed().value();
 
   // Per-slice working set (scratch above, allocated once per propagation).
   // With dedup on, each (x, y) epsilon cell keeps up to four representative
@@ -256,76 +313,119 @@ void ReachTubeComputer::propagate(const roadmap::DrivableMap& map,
     scratch.next_slice();
 
     const common::SliceIdx slice_idx{static_cast<std::size_t>(j) + 1};
-    build_active_set(obstacles, tube.slices[0].front(), scratch, slice_idx);
+    activate(slice_idx);
     std::size_t dead_cells = 0;
-    auto try_control = [&](const dynamics::VehicleState& s, const dynamics::Control& u) {
-      if (candidates.size() >= params_.max_states_per_slice) return;
-      const dynamics::VehicleState ns = model_.step(s, u, dt);
 
-      if (!params_.dedup) {
-        if (!test(ns, slice_idx)) return;
-        candidates.push_back(ns);
-        occupied.insert(xy_key(ns.x, ns.y, inv_cell));
-        return;
-      }
+    // Stage-5 decision pass: consumes one analyzed block sequentially, in
+    // the exact candidate order the historical generate-then-test loop
+    // produced — so dedup bookkeeping, the per-slice cap, and the emitted
+    // tube are bit-identical by construction.
+    auto decide = [&](std::size_t block) {
+      for (std::size_t i = 0; i < block; ++i) {
+        // `candidates` never shrinks within a slice, so once the cap is hit
+        // every remaining lane bails exactly like its scalar call did.
+        if (candidates.size() >= params_.max_states_per_slice) return;
+        const dynamics::VehicleState ns{lanes.nx[i], lanes.ny[i], lanes.nh[i],
+                                        lanes.nv[i]};
 
-      // One probe per candidate: a dead cell (first sample collided or left
-      // the map) stays in `cells` as an entry with no representatives
-      // (min_v < 0) — the separate dead-key set the old loop needed costs a
-      // second hash lookup on every propagated state.
-      const std::uint64_t key = xy_key(ns.x, ns.y, inv_cell);
-      auto [reps_slot, inserted] = cells.insert(key);
-      if (inserted) {
-        if (!test(ns, slice_idx)) {
-          ++dead_cells;  // reps_slot keeps its default min_v = -1 dead marker
-          return;
+        if (!params_.dedup) {
+          if (!consult(i, ns, slice_idx)) continue;
+          candidates.push_back(ns);
+          occupied.insert(lanes.key[i]);
+          continue;
         }
+
+        // One probe per candidate: a dead cell (first sample collided or left
+        // the map) stays in `cells` as an entry with no representatives
+        // (min_v < 0) — the separate dead-key set the old loop needed costs a
+        // second hash lookup on every propagated state.
+        auto [reps_slot, inserted] = cells.insert(lanes.key[i]);
+        if (inserted) {
+          if (!consult(i, ns, slice_idx)) {
+            ++dead_cells;  // reps_slot keeps its default min_v = -1 dead marker
+            continue;
+          }
+          const int idx = static_cast<int>(candidates.size());
+          candidates.push_back(ns);
+          reps_slot->min_v = reps_slot->max_v = reps_slot->min_h = reps_slot->max_h = idx;
+          reps_slot->v_lo = reps_slot->v_hi = ns.speed;
+          reps_slot->h_lo = reps_slot->h_hi = ns.heading;
+          continue;
+        }
+        CellReps& reps = *reps_slot;
+        if (reps.min_v < 0) continue;  // dead cell
+        const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
+                              ns.heading < reps.h_lo || ns.heading > reps.h_hi;
+        if (!improves) continue;
+        if (!consult(i, ns, slice_idx)) continue;
         const int idx = static_cast<int>(candidates.size());
         candidates.push_back(ns);
-        reps_slot->min_v = reps_slot->max_v = reps_slot->min_h = reps_slot->max_h = idx;
-        reps_slot->v_lo = reps_slot->v_hi = ns.speed;
-        reps_slot->h_lo = reps_slot->h_hi = ns.heading;
-        return;
-      }
-      CellReps& reps = *reps_slot;
-      if (reps.min_v < 0) return;  // dead cell
-      const bool improves = ns.speed < reps.v_lo || ns.speed > reps.v_hi ||
-                            ns.heading < reps.h_lo || ns.heading > reps.h_hi;
-      if (!improves) return;
-      if (!test(ns, slice_idx)) return;
-      const int idx = static_cast<int>(candidates.size());
-      candidates.push_back(ns);
-      if (ns.speed < reps.v_lo) {
-        reps.v_lo = ns.speed;
-        reps.min_v = idx;
-      }
-      if (ns.speed > reps.v_hi) {
-        reps.v_hi = ns.speed;
-        reps.max_v = idx;
-      }
-      if (ns.heading < reps.h_lo) {
-        reps.h_lo = ns.heading;
-        reps.min_h = idx;
-      }
-      if (ns.heading > reps.h_hi) {
-        reps.h_hi = ns.heading;
-        reps.max_h = idx;
+        if (ns.speed < reps.v_lo) {
+          reps.v_lo = ns.speed;
+          reps.min_v = idx;
+        }
+        if (ns.speed > reps.v_hi) {
+          reps.v_hi = ns.speed;
+          reps.max_v = idx;
+        }
+        if (ns.heading < reps.h_lo) {
+          reps.h_lo = ns.heading;
+          reps.min_h = idx;
+        }
+        if (ns.heading > reps.h_hi) {
+          reps.h_hi = ns.heading;
+          reps.max_h = idx;
+        }
       }
     };
 
+    // Stages 1–5 over the pending block: batch-step every lane, batch the
+    // cell keys, run the caller's geometry analysis, then decide. A block
+    // queued entirely past the cap is dropped wholesale — the scalar loop
+    // never stepped those candidates either, and `decide` would discard
+    // every one of them.
+    auto flush = [&] {
+      const std::size_t block = lanes.count;
+      if (block == 0) return;
+      if (candidates.size() >= params_.max_states_per_slice) {
+        lanes.count = 0;
+        return;
+      }
+      dynamics::step_batch(
+          block,
+          {lanes.px.data(), lanes.py.data(), lanes.ph.data(), lanes.pv.data(),
+           lanes.accel.data(), lanes.tan_steer.data()},
+          {lanes.nx.data(), lanes.ny.data(), lanes.nh.data(), lanes.nv.data()},
+          params_.dt, params_.wheelbase, max_speed);
+      for (std::size_t i = 0; i < block; ++i) {
+        lanes.key[i] = xy_key(lanes.nx[i], lanes.ny[i], inv_cell);
+      }
+      analyze(slice_idx);
+      decide(block);
+      lanes.count = 0;
+    };
+
     for (const dynamics::VehicleState& s : current) {
-      for (const dynamics::Control& u : boundary_set_) try_control(s, u);
+      for (std::size_t b = 0; b < boundary_set_.size(); ++b) {
+        lanes.push(s, boundary_set_[b].accel, boundary_tan_[b]);
+      }
       if (!params_.boundary_controls) {
         // Algorithm 1's unoptimized form: the extreme controls above plus
-        // uniform samples up to N.
+        // uniform samples up to N. Draws happen at queue time, in the exact
+        // per-parent order the scalar loop drew them — the stream never
+        // depended on test outcomes (capped candidates still drew), so
+        // queuing a block ahead of its decisions leaves it untouched.
         const auto& lim = params_.limits;
         for (int n = static_cast<int>(boundary_set_.size()); n < params_.uniform_samples;
              ++n) {
-          try_control(s, {rng.uniform(lim.accel_min, lim.accel_max),
-                          rng.uniform(lim.steer_min, lim.steer_max)});
+          const double a = rng.uniform(lim.accel_min, lim.accel_max);
+          const double phi = rng.uniform(lim.steer_min, lim.steer_max);
+          lanes.push(s, a, std::tan(phi));
         }
       }
+      if (lanes.count >= kLaneBlock) flush();
     }
+    flush();
 
     if (params_.dedup) {
       // A dead cell leaves an entry with no representatives; it must not
@@ -362,15 +462,18 @@ void ReachTubeComputer::propagate(const roadmap::DrivableMap& map,
       }
     } else {
       volume_cells += occupied.size();
-      // Hand the slice over without the full copy this branch used to pay;
-      // the moved-from scratch gets its capacity re-reserved for the next
-      // slice.
-      next = std::move(candidates);
-      candidates.clear();
-      candidates.reserve(expected);
+      // Hand the slice its own right-sized storage and keep the scratch's
+      // capacity: moving `candidates` out surrendered its buffer to the tube
+      // (forcing a re-reserve allocation every slice) and left each emitted
+      // slice holding a full scratch-sized block. One exact allocation per
+      // produced slice — the same as the dedup branch — is all that remains,
+      // so the zero-steady-state-scratch-allocation guarantee holds for
+      // dedup=false too (tests/test_tube_alloc.cpp).
+      next.reserve(candidates.size());
+      next.insert(next.end(), candidates.begin(), candidates.end());
     }
     ++slices_processed;
-    states_expanded += next.size();  // candidates may have been moved into next
+    states_expanded += next.size();
     on_slice_done(j, volume_cells);
     if (next.empty()) break;  // tube pinched off; later slices unreachable
   }
@@ -409,6 +512,86 @@ void ReachTubeComputer::build_active_set(std::span<const ObstacleTimeline> obsta
   }
 }
 
+void ReachTubeComputer::analyze_lanes(std::span<const ObstacleTimeline> obstacles,
+                                      TubeScratch& scratch, common::SliceIdx slice_idx,
+                                      int max_hits) const {
+  auto& lanes = scratch.lanes;
+  const std::size_t n = lanes.count;
+  const std::size_t slice = slice_idx.value();
+  // Exactly dynamics::footprint's extents — the batch kernels and the scalar
+  // narrow phase must describe the same rectangle to the bit.
+  const double half_len = params_.ego_dims.length / 2.0;
+  const double half_wid = params_.ego_dims.width / 2.0;
+
+  geom::footprint_axes(n, lanes.nh.data(), lanes.ax.data(), lanes.ay.data());
+  geom::footprint_aabbs(n, lanes.nx.data(), lanes.ny.data(), lanes.ax.data(),
+                        lanes.ay.data(), half_len, half_wid, lanes.lo_x.data(),
+                        lanes.lo_y.data(), lanes.hi_x.data(), lanes.hi_y.data());
+  std::fill_n(lanes.hits.begin(), n, std::uint8_t{0});
+  // first_hit is only read for lanes whose count is exactly one, and the
+  // first hit always writes it — stale values are never observed.
+
+  const auto hits_cap = static_cast<std::uint8_t>(max_hits);
+  for (const std::uint32_t oi : scratch.active) {
+    const ObstacleTimeline& obs = obstacles[oi];
+    IPRISM_DCHECK(slice < obs.by_slice.size(),
+                  "ReachTube: slice index out of obstacle timeline bounds");
+    const geom::OrientedBox& box = obs.by_slice[slice];
+    // Stage 3: circumradius broad phase for the whole block at once (radius
+    // precomputed per timeline, hoisted per obstacle instead of per lane).
+    const double r = ego_circumradius_ + obs.circumradius_by_slice[slice];
+    const std::size_t survivors =
+        geom::broad_phase_cull(n, lanes.nx.data(), lanes.ny.data(), box.center().x,
+                               box.center().y, r * r, lanes.broad.data());
+    if (survivors == 0) continue;
+    // Stage 4: narrow phase stays scalar — SAT is branchy and short, and
+    // typically runs on a small broad-phase remnant (DESIGN.md §13). Hit
+    // counting saturates at max_hits (1 answers pass/fail; 2 distinguishes
+    // kSole from kMulti), matching the scalar scans' early exits.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lanes.broad[i] == 0) continue;
+      if (lanes.hits[i] >= hits_cap) continue;
+      const geom::OrientedBox ego_box = geom::OrientedBox::with_axis(
+          {lanes.nx[i], lanes.ny[i]}, half_len, half_wid, lanes.nh[i],
+          {lanes.ax[i], lanes.ay[i]});
+      if (!ego_box.intersects(box)) continue;
+      if (lanes.hits[i] == 0) lanes.first_hit[i] = oi;
+      ++lanes.hits[i];
+    }
+  }
+}
+
+void ReachTubeComputer::load_active_set(const TubeAttribution& attr, TubeScratch& scratch,
+                                        std::size_t slice) const {
+  IPRISM_DCHECK(slice + 1 < attr.active_offsets.size(),
+                "ReachTube: attribution is missing this slice's active set");
+  scratch.active.clear();
+  const std::size_t begin = attr.active_offsets[slice];
+  const std::size_t end = attr.active_offsets[slice + 1];
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::uint32_t oi = attr.active_flat[k];
+    if (scratch.excluded[oi]) continue;
+    scratch.active.push_back(oi);
+  }
+}
+
+ReachTubeComputer::TubeScratch ReachTubeComputer::make_scratch(
+    std::size_t obstacle_count) const {
+  const std::size_t expected =
+      params_.scratch_reserve > 0
+          ? params_.scratch_reserve
+          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
+  // Worst-case lanes one parent can queue past the kLaneBlock flush
+  // threshold: with boundary controls only, the boundary set; with uniform
+  // sampling, whichever of the two control counts is larger.
+  const std::size_t per_parent =
+      params_.boundary_controls
+          ? boundary_set_.size()
+          : std::max(boundary_set_.size(),
+                     static_cast<std::size_t>(params_.uniform_samples));
+  return TubeScratch(expected, obstacle_count, kLaneBlock + per_parent);
+}
+
 void ReachTubeComputer::check_timelines(std::span<const ObstacleTimeline> obstacles) const {
   for (const ObstacleTimeline& obs : obstacles) {
     IPRISM_CHECK(obs.by_slice.size() == static_cast<std::size_t>(slices_) + 1,
@@ -432,11 +615,7 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
 
-  const std::size_t expected =
-      params_.scratch_reserve > 0
-          ? params_.scratch_reserve
-          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
-  TubeScratch scratch(expected, obstacles.size());
+  TubeScratch scratch = make_scratch(obstacles.size());
   // ActorId::none() compares equal to no real (>= 0) actor id, so the
   // default excludes nobody — including anonymous hand-built timelines.
   if (exclude.valid()) {
@@ -453,10 +632,25 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
 
   std::size_t volume_cells = 1;  // the seed's own cell
   common::Rng rng(params_.sample_seed);
+  const double half_len = params_.ego_dims.length / 2.0;
+  const double half_wid = params_.ego_dims.width / 2.0;
   propagate(
-      map, obstacles, scratch, tube, volume_cells, rng, 0,
-      [&](const dynamics::VehicleState& ns, common::SliceIdx si) {
-        return state_ok(map, ns, obstacles, scratch.active, si);
+      scratch, tube, volume_cells, rng, 0,
+      [&](common::SliceIdx si) { build_active_set(obstacles, ego, scratch, si); },
+      [&](common::SliceIdx si) { analyze_lanes(obstacles, scratch, si, /*max_hits=*/1); },
+      [&](std::size_t lane, const dynamics::VehicleState&, common::SliceIdx) {
+        const auto& lanes = scratch.lanes;
+        // Same conjunction as the scalar state_ok (map ∧ no obstacle hit),
+        // with the obstacle side answered from the analyzed block; neither
+        // test has side effects, so evaluation order is free — check the
+        // in-hand hit count before the virtual map call.
+        if (lanes.hits[lane] != 0) return false;
+        return map.contains_box_geom(
+            {lanes.nx[lane], lanes.ny[lane]}, half_len, half_wid,
+            {lanes.ax[lane], lanes.ay[lane]},
+            geom::Aabb{{lanes.lo_x[lane], lanes.lo_y[lane]},
+                       {lanes.hi_x[lane], lanes.hi_y[lane]}},
+            params_.map_margin);
       },
       [](int) {}, [](int, std::size_t) {});
 
@@ -481,11 +675,20 @@ AttributedTube ReachTubeComputer::compute_attributed(
   attr.first_sole_block.assign(obstacles.size(), TubeAttribution::kNever);
   attr.obstacle_count = obstacles.size();
 
-  const std::size_t expected =
-      params_.scratch_reserve > 0
-          ? params_.scratch_reserve
-          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
-  TubeScratch scratch(expected, obstacles.size());  // excluded: all zero
+  TubeScratch scratch = make_scratch(obstacles.size());  // excluded: all zero
+
+  // Per-slice active obstacle sets, built exactly once per (obstacle set,
+  // seed): the disc test is a pure function of (obstacle, seed, slice), so
+  // the base propagation below and every counterfactual replay load these
+  // read-only instead of re-running it per slice per tube.
+  attr.active_offsets.reserve(static_cast<std::size_t>(slices_) + 2);
+  attr.active_offsets.push_back(0);
+  for (int s = 0; s <= slices_; ++s) {
+    build_active_set(obstacles, ego, scratch, common::SliceIdx{static_cast<std::size_t>(s)});
+    attr.active_flat.insert(attr.active_flat.end(), scratch.active.begin(),
+                            scratch.active.end());
+    attr.active_offsets.push_back(static_cast<std::uint32_t>(attr.active_flat.size()));
+  }
 
   // Appends one record and maintains the divergence bookkeeping. Slices are
   // processed in increasing order, so "first" assignments are plain min's.
@@ -506,7 +709,7 @@ AttributedTube ReachTubeComputer::compute_attributed(
     }
   };
 
-  build_active_set(obstacles, ego, scratch, common::SliceIdx{0});
+  load_active_set(attr, scratch, 0);
   const BlockRecord seed_rec =
       classify_state(map, ego, obstacles, scratch.active, common::SliceIdx{0});
   record(seed_rec, 0);
@@ -519,12 +722,34 @@ AttributedTube ReachTubeComputer::compute_attributed(
   std::size_t volume_cells = 1;  // the seed's own cell
   attr.volume_prefix[0] = 1;
   common::Rng rng(params_.sample_seed);
+  const double half_len = params_.ego_dims.length / 2.0;
+  const double half_wid = params_.ego_dims.width / 2.0;
   int last_done = 0;
   propagate(
-      map, obstacles, scratch, tube, volume_cells, rng, 0,
-      [&](const dynamics::VehicleState& ns, common::SliceIdx si) {
-        const BlockRecord rec =
-            classify_state(map, ns, obstacles, scratch.active, si);
+      scratch, tube, volume_cells, rng, 0,
+      [&](common::SliceIdx si) { load_active_set(attr, scratch, si.value()); },
+      [&](common::SliceIdx si) { analyze_lanes(obstacles, scratch, si, /*max_hits=*/2); },
+      [&](std::size_t lane, const dynamics::VehicleState& ns, common::SliceIdx si) {
+        // classify_state over the analyzed block: off-map wins outright (no
+        // actor removal rescues it); otherwise the saturating hit count
+        // separates kPassed / kSole / kMulti, with first_hit as the sole
+        // blocker — the same outcome the scalar two-hit scan produces.
+        const auto& lanes = scratch.lanes;
+        BlockRecord rec;
+        rec.state = ns;
+        if (!map.contains_box_geom(
+                {lanes.nx[lane], lanes.ny[lane]}, half_len, half_wid,
+                {lanes.ax[lane], lanes.ay[lane]},
+                geom::Aabb{{lanes.lo_x[lane], lanes.lo_y[lane]},
+                           {lanes.hi_x[lane], lanes.hi_y[lane]}},
+                params_.map_margin)) {
+          rec.cls = BlockerClass::kOffMap;
+        } else if (lanes.hits[lane] == 1) {
+          rec.cls = BlockerClass::kSole;
+          rec.sole_blocker = lanes.first_hit[lane];
+        } else if (lanes.hits[lane] >= 2) {
+          rec.cls = BlockerClass::kMulti;
+        }
         record(rec, si.value());
         return rec.cls == BlockerClass::kPassed;
       },
@@ -552,7 +777,8 @@ ReachTube ReachTubeComputer::replay_counterfactual(
     bool exclude_all, std::size_t exclude_index, CounterfactualStats* stats) const {
   const TubeAttribution& attr = base.attribution;
   IPRISM_CHECK(attr.obstacle_count == obstacles.size() &&
-                   attr.slices.size() == static_cast<std::size_t>(slices_) + 1,
+                   attr.slices.size() == static_cast<std::size_t>(slices_) + 1 &&
+                   attr.active_offsets.size() == static_cast<std::size_t>(slices_) + 2,
                "ReachTube: attribution record does not match this obstacles/params set");
   IPRISM_DCHECK(exclude_all || exclude_index < obstacles.size(),
                 "ReachTube: counterfactual exclude index out of range");
@@ -574,11 +800,7 @@ ReachTube ReachTubeComputer::replay_counterfactual(
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
 
-  const std::size_t expected =
-      params_.scratch_reserve > 0
-          ? params_.scratch_reserve
-          : std::min<std::size_t>(params_.max_states_per_slice, 4096);
-  TubeScratch scratch(expected, obstacles.size());
+  TubeScratch scratch = make_scratch(obstacles.size());
   if (exclude_all) {
     scratch.excluded.assign(obstacles.size(), 1);
   } else {
@@ -613,7 +835,7 @@ ReachTube ReachTubeComputer::replay_counterfactual(
   if (jstar == 0) {
     // The seed itself was blocker-rejected in the base run; the replay
     // starts from scratch (memo still answers the shared candidates).
-    build_active_set(obstacles, ego, scratch, common::SliceIdx{0});
+    load_active_set(attr, scratch, 0);
     if (!test(ego, common::SliceIdx{0})) return tube;
     tube.slices[0].push_back(ego);
     volume_cells = 1;
@@ -626,8 +848,20 @@ ReachTube ReachTubeComputer::replay_counterfactual(
     rng = attr.rng_at_loop[jstar - 1];
     first_loop = static_cast<int>(jstar) - 1;
   }
-  propagate(map, obstacles, scratch, tube, volume_cells, rng, first_loop, test,
-            [](int) {}, [](int, std::size_t) {});
+  // Replays share the batch step/key stages but skip the geometry analysis:
+  // `test` answers from the memo (or falls back to the scalar state_ok for
+  // delta candidates the base never tested), reading nothing from the
+  // analyzed lane outcomes. The active set is the base run's, filtered
+  // through this replay's exclusions while loading — identical to rebuilding
+  // it, since the disc test never depended on exclusions.
+  propagate(
+      scratch, tube, volume_cells, rng, first_loop,
+      [&](common::SliceIdx si) { load_active_set(attr, scratch, si.value()); },
+      [](common::SliceIdx) {},
+      [&](std::size_t, const dynamics::VehicleState& ns, common::SliceIdx si) {
+        return test(ns, si);
+      },
+      [](int) {}, [](int, std::size_t) {});
 
   tube.volume = static_cast<double>(volume_cells);
   IPRISM_DCHECK(tube.volume >= 1.0, "ReachTube: non-empty tube must have positive volume");

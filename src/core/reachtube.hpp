@@ -167,6 +167,17 @@ struct TubeAttribution {
   /// Total kSole + kMulti records — the blocked frontier the replays re-expand
   /// from (telemetry: reachtube.blocked_frontier_size).
   std::size_t blocked_frontier = 0;
+  /// Per-slice active obstacle sets of the base run, flattened: slice j's
+  /// set is active_flat[active_offsets[j] .. active_offsets[j+1]) in
+  /// ascending obstacle-index order. The set is a pure function of
+  /// (obstacle set, seed, slice) — independent of which actors a replay
+  /// excludes — so compute_attributed builds it exactly once and the base
+  /// propagation plus every counterfactual replay in the fan-out reuse it
+  /// read-only (a replay filters its excluded indices out while loading,
+  /// which is exactly what rebuilding with exclusions would produce).
+  /// Covers every slice [0, slice_count].
+  std::vector<std::uint32_t> active_flat;
+  std::vector<std::uint32_t> active_offsets;
 
   /// True when `exclude_index` never solely rejected a candidate, i.e. the
   /// counterfactual is the base tube verbatim.
@@ -250,19 +261,52 @@ class ReachTubeComputer {
 
   /// Shared propagation loop: runs slice loops [first_loop, slice_count)
   /// given tube.slices[first_loop] (and everything before it) already
-  /// populated, with `test` answering "does this candidate survive slice j".
+  /// populated. The loop is staged (DESIGN.md §13): parent×control pairs are
+  /// queued into structure-of-arrays lane buffers, batch-stepped and
+  /// batch-analyzed a block at a time, and then consumed by one sequential
+  /// decision pass that replicates the candidate order — and therefore the
+  /// dedup/cap/RNG semantics — of the historical generate-then-test loop
+  /// exactly. The caller supplies three policy hooks:
+  ///
+  ///   activate(slice)        — fill scratch.active for the slice;
+  ///   analyze(slice)         — batched geometry over the pending lane block
+  ///                            (no-op for memoized replays);
+  ///   consult(lane, ns, slice) — "does this candidate survive", reading the
+  ///                            analyzed lane outcomes (or a memo).
+  ///
   /// `on_loop_begin(j)` / `on_slice_done(j, volume)` are the attribution
   /// recorder's hooks; the plain and replay paths pass no-ops that inline
   /// away. Every caller — plain, attributed, replay — funnels through this
   /// one loop, which is the §12 bit-identity argument: a replay differs from
   /// from-scratch only in where state_ok answers come from, and those
   /// answers are proven equal case by case.
-  template <class TestState, class OnLoopBegin, class OnSliceDone>
-  void propagate(const roadmap::DrivableMap& map,
-                 std::span<const ObstacleTimeline> obstacles, TubeScratch& scratch,
-                 ReachTube& tube, std::size_t& volume_cells, common::Rng& rng,
-                 int first_loop, TestState&& test, OnLoopBegin&& on_loop_begin,
+  template <class Activate, class Analyze, class Consult, class OnLoopBegin,
+            class OnSliceDone>
+  void propagate(TubeScratch& scratch, ReachTube& tube, std::size_t& volume_cells,
+                 common::Rng& rng, int first_loop, Activate&& activate,
+                 Analyze&& analyze, Consult&& consult, OnLoopBegin&& on_loop_begin,
                  OnSliceDone&& on_slice_done) const;
+
+  /// Stages (2)–(4) over the pending lane block: batch footprint axes and
+  /// corner AABBs (geom/batch.hpp), then per active obstacle a vectorized
+  /// circumradius broad-phase cull followed by scalar narrow-phase SAT for
+  /// the survivors. Fills lanes.{ax,ay,lox,loy,hix,hiy,hits,first_hit};
+  /// per-lane hit counting saturates at `max_hits` (1 answers pass/fail,
+  /// 2 distinguishes kSole from kMulti).
+  void analyze_lanes(std::span<const ObstacleTimeline> obstacles, TubeScratch& scratch,
+                     common::SliceIdx slice, int max_hits) const;
+
+  /// Loads `scratch.active` for one slice from the attribution's precomputed
+  /// per-slice sets, dropping indices flagged in `scratch.excluded`. Equal to
+  /// build_active_set with the same exclusions: the disc test is a pure
+  /// function of (obstacle, seed, slice), independent of exclusions.
+  void load_active_set(const TubeAttribution& attr, TubeScratch& scratch,
+                       std::size_t slice) const;
+
+  /// Scratch sized for this computer's params: `obstacle_count` exclusion
+  /// flags and lane buffers big enough that the per-slice flush loop never
+  /// reallocates (kLaneBlock plus one parent's worst-case control count).
+  TubeScratch make_scratch(std::size_t obstacle_count) const;
 
   /// Replay core shared by compute_counterfactual / compute_unblocked:
   /// `exclude_index` is ignored when `exclude_all` is set.
@@ -305,6 +349,10 @@ class ReachTubeComputer {
   int slices_ = 0;
   double ego_circumradius_ = 0.0;  ///< constant of ego_dims, hoisted out of state_ok
   std::vector<dynamics::Control> boundary_set_;
+  /// std::tan(boundary_set_[i].steer), hoisted out of the slice loop — the
+  /// batch step kernel takes tan(phi) precomputed (same bits: same libm call
+  /// on the same input either way).
+  std::vector<double> boundary_tan_;
 };
 
 }  // namespace iprism::core

@@ -66,9 +66,12 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // Wave 2: |T^{∅}| and the N counterfactuals T^{/i} (Eq. 4), all derived
   // from the shared base and fanned across the pool. Free tubes (actor
   // rejected nothing) return the base volume without touching geometry;
-  // per-task work is uneven, but the pool's one-task-per-index submission
-  // already load-balances at the finest possible grain. Aggregation is by
-  // index, so results are bit-identical to the serial loop.
+  // replays read the base attribution — including its precomputed
+  // per-slice active obstacle sets — as immutable shared state, so no
+  // replay re-derives active sets. Per-task work is uneven, but the
+  // pool's one-task-per-index submission already load-balances at the
+  // finest possible grain. Aggregation is by index, so results are
+  // bit-identical to the serial loop.
   std::vector<double> vol(forecasts.size() + 1, 0.0);
   {
     IPRISM_SCOPED_TIMER("sti.wave2", "sti");

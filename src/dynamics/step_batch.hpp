@@ -1,0 +1,46 @@
+// Structure-of-arrays batch form of BicycleModel::step (DESIGN.md §13).
+//
+// The reach-tube propagation steps every parent×control pair of a slice;
+// doing that one out-of-line step() call at a time leaves the lane-parallel
+// arithmetic (clamp, midpoint, displacement) unexposed to the
+// autovectorizer and re-derives tan(steer) per call even though the control
+// set is fixed per propagation. step_batch takes the lanes as parallel
+// arrays — with tan(steer) precomputed once per control — and produces
+// results **bit-identical** to calling BicycleModel::step per lane: the
+// per-lane arithmetic is the exact expression sequence of bicycle.cpp (same
+// association, no FMA contraction — the TU compiles with -ffp-contract=off
+// and the identity suite in tests/test_geom_kernel_identity.cpp enforces
+// equality at the bit level).
+#pragma once
+
+#include <cstddef>
+
+namespace iprism::dynamics {
+
+/// Input lanes: parent state (x/y/heading/speed) plus the control per lane.
+/// `tan_steer` carries std::tan(steer) — precomputed by the caller; the same
+/// input bits through the same libm give the same tangent bits step() would
+/// compute inline.
+struct StepBatchIn {
+  const double* x;
+  const double* y;
+  const double* heading;
+  const double* speed;
+  const double* accel;
+  const double* tan_steer;
+};
+
+/// Output lanes (may not alias the inputs).
+struct StepBatchOut {
+  double* x;
+  double* y;
+  double* heading;
+  double* speed;
+};
+
+/// Steps `n` lanes through the kinematic bicycle model. Bit-identical per
+/// lane to BicycleModel{wheelbase, max_speed}.step(state, control, dt).
+void step_batch(std::size_t n, const StepBatchIn& in, const StepBatchOut& out, double dt,
+                double wheelbase, double max_speed);
+
+}  // namespace iprism::dynamics

@@ -17,6 +17,19 @@ OrientedBox::OrientedBox(const Vec2& center, double half_length, double half_wid
                "OrientedBox: extents must be non-negative");
 }
 
+OrientedBox OrientedBox::with_axis(const Vec2& center, double half_length,
+                                   double half_width, double heading, const Vec2& axis) {
+  IPRISM_DCHECK(axis == heading_vec(heading),
+                "OrientedBox::with_axis: axis must be heading_vec(heading) bit-exactly");
+  OrientedBox box;
+  box.center_ = center;
+  box.half_length_ = half_length;
+  box.half_width_ = half_width;
+  box.heading_ = heading;
+  box.axis_ = axis;
+  return box;
+}
+
 std::array<Vec2, 4> OrientedBox::corners() const {
   const Vec2 fwd = axis_long() * half_length_;
   const Vec2 left = axis_lat() * half_width_;

@@ -2,15 +2,17 @@
 //
 //   clang-tidy --load=libIprismTidyChecks.so --checks=-*,iprism-* ...
 //
-// These checks are the compiled successors of four rules that
+// Four of these checks are the compiled successors of rules that
 // tools/iprism_lint.py used to enforce with regexes (see each check's
-// header for what it adds over the regex). tools/run_tidy.sh loads the
+// header for what it adds over the regex); iprism-simd-discipline guards
+// the batched-kernel determinism contract (DESIGN.md §13). tools/run_tidy.sh loads the
 // plugin automatically when the `tidy` CMake preset has built it, and the
 // `lint.tidy-plugin` / `lint.tidy-fixtures` ctest targets gate on it.
 #include "FloatEqCheck.h"
 #include "NoUnorderedInCoreCheck.h"
 #include "RawThreadCheck.h"
 #include "RngDisciplineCheck.h"
+#include "SimdDisciplineCheck.h"
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
@@ -25,6 +27,7 @@ public:
     CheckFactories.registerCheck<RngDisciplineCheck>("iprism-rng-discipline");
     CheckFactories.registerCheck<FloatEqCheck>("iprism-float-eq");
     CheckFactories.registerCheck<RawThreadCheck>("iprism-raw-thread");
+    CheckFactories.registerCheck<SimdDisciplineCheck>("iprism-simd-discipline");
   }
 };
 

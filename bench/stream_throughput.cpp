@@ -1,0 +1,130 @@
+// Multi-stream serving throughput (DESIGN.md §14).
+//
+// Measures eval::StreamRunner driving M independent scenario streams — each
+// a (world, session, monitor loop) triple against one shared const engine —
+// over the process-wide thread pool, vs the same streams strictly serially.
+// Every stream performs the identical fixed amount of work (collision stop
+// disabled, fixed horizon), so the per-iteration cost scales exactly with M
+// and the concurrent/serial ratio reads as stream-level parallel speedup
+// (~1.0, i.e. within noise, on a single-core CI box).
+//
+// Determinism is the precondition for the comparison: main() verifies the
+// concurrent run is bit-identical to the serial reference before any timing,
+// and refuses to record otherwise (the tests/test_stream_runner.cpp contract,
+// re-checked at the recording site).
+//
+// Recorded as BENCH_stream_throughput.json from the release preset:
+//   ./stream_throughput --require-release \
+//     --benchmark_out=BENCH_stream_throughput.json --benchmark_out_format=json
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "eval/stream_runner.hpp"
+#include "roadmap/straight_road.hpp"
+#include "ubench.hpp"
+
+using namespace iprism;
+
+namespace {
+
+dynamics::VehicleState state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+/// Deterministic in the index: a three-lane wall ahead of the ego, one metre
+/// further per stream, so every stream is a distinct live threat.
+sim::World stream_world(std::size_t index) {
+  sim::World w(std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0), 0.1);
+  w.add_ego(state(50, 5.25, 10));
+  const double gap = 12.0 + static_cast<double>(index);
+  for (double y : {1.75, 5.25, 8.75}) {
+    sim::Actor blocker;
+    blocker.kind = sim::ActorKind::kVehicle;
+    blocker.state = state(50 + gap + 4.5, y, 0.0);
+    w.add_actor(std::move(blocker));
+  }
+  return w;
+}
+
+eval::StreamRunner::Options bench_options() {
+  eval::StreamRunner::Options options;
+  // Fixed work per stream: 10 monitor updates, no early exit — the measured
+  // cost is a pure function of M.
+  options.max_seconds = 1.0;
+  options.stop_on_ego_collision = false;
+  // Strictly serial tube fan-out inside each stream, so this binary times
+  // stream-level parallelism in isolation (the tube-level fan-out has its
+  // own family in overheads.cpp, BM_StiFullPerActorThreads).
+  options.monitor.tube.num_threads = 0;
+  return options;
+}
+
+void BM_StreamThroughput(ubench::State& bench_state) {
+  const auto streams = static_cast<std::size_t>(bench_state.range(0));
+  const eval::StreamRunner runner(bench_options());  // shared pool
+  for (auto _ : bench_state) {
+    const auto outcomes = runner.run(streams, stream_world);
+    ubench::DoNotOptimize(outcomes.data());
+  }
+}
+UBENCH(BM_StreamThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_StreamThroughputSerial(ubench::State& bench_state) {
+  // The determinism reference and speedup denominator: identical streams,
+  // one at a time on the calling thread.
+  const auto streams = static_cast<std::size_t>(bench_state.range(0));
+  const eval::StreamRunner runner(bench_options(), nullptr);
+  for (auto _ : bench_state) {
+    const auto outcomes = runner.run(streams, stream_world);
+    ubench::DoNotOptimize(outcomes.data());
+  }
+}
+UBENCH(BM_StreamThroughputSerial)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Bit-identity gate: concurrent vs serial outcomes for the largest M this
+/// binary times. Exact == on every field — the guarantee is bit-identity,
+/// not closeness.
+bool verify_determinism() {
+  const auto options = bench_options();
+  const eval::StreamRunner concurrent(options);
+  const eval::StreamRunner serial(options, nullptr);
+  const auto a = concurrent.run(8, stream_world);
+  const auto b = serial.run(8, stream_world);
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].stream != b[i].stream || a[i].label != b[i].label ||
+        a[i].steps != b[i].steps || a[i].monitor_updates != b[i].monitor_updates ||
+        a[i].max_sti != b[i].max_sti || a[i].mean_sti != b[i].mean_sti ||
+        a[i].escalations != b[i].escalations || a[i].final_level != b[i].final_level ||
+        a[i].last_riskiest_actor != b[i].last_riskiest_actor ||
+        a[i].ego_collided != b[i].ego_collided) {
+      std::fprintf(stderr, "stream_throughput: stream %zu diverged from serial\n", i);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  iprism::bench::require_release_guard(argc, argv);
+  argc = iprism::bench::strip_require_release_flag(argc, argv);
+  if (!verify_determinism()) {
+    std::fprintf(stderr,
+                 "stream_throughput: concurrent != serial; refusing to record a "
+                 "benchmark whose runs are not bit-identical\n");
+    return 1;
+  }
+  ubench::add_context("iprism_build_type",
+                      bench::release_benchmark_build()
+                          ? "release"
+                          : bench::nonrelease_build_reason());
+  ubench::add_context("determinism_verified", "concurrent==serial, M=8");
+  return ubench::run_main(argc, argv);
+}

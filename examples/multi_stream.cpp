@@ -1,0 +1,83 @@
+// Multi-stream serving: one immutable risk engine, many concurrent streams.
+//
+// The engine/session split (DESIGN.md §14) turns "monitor M vehicles" from
+// M complete monitor stacks into ONE shared const engine plus M cheap
+// core::RiskSession contexts. This example drives eight scenario streams —
+// walls at increasing range, so each stream carries a different risk level —
+// concurrently over the process-wide thread pool, then shows the same
+// engine/session API used directly for a single hand-driven stream.
+//
+// Outcomes are bit-identical to running the streams one at a time
+// (tests/test_stream_runner.cpp); concurrency is purely a wall-clock knob.
+//
+// Build & run:  cmake --build build && ./build/examples/multi_stream
+#include <cstdio>
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "eval/stream_runner.hpp"
+#include "roadmap/straight_road.hpp"
+
+using namespace iprism;
+
+namespace {
+
+dynamics::VehicleState make_state(double x, double y, double speed) {
+  dynamics::VehicleState s;
+  s.x = x;
+  s.y = y;
+  s.speed = speed;
+  return s;
+}
+
+/// Stream i: ego at 10 m/s, a three-lane wall 10 + 2 i metres ahead.
+/// Deterministic in the index — the only requirement StreamRunner places on
+/// a world maker (makers run concurrently on pool workers).
+sim::World make_stream_world(std::size_t index) {
+  sim::World w(std::make_shared<roadmap::StraightRoad>(3, 3.5, 500.0), 0.1);
+  w.add_ego(make_state(50.0, 5.25, 10.0));
+  const double gap = 10.0 + 2.0 * static_cast<double>(index);
+  for (double y : {1.75, 5.25, 8.75}) {
+    sim::Actor blocker;
+    blocker.kind = sim::ActorKind::kVehicle;
+    blocker.state = make_state(50.0 + gap + 4.5, y, 0.0);
+    w.add_actor(std::move(blocker));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  // 1. The serving layer: 8 streams, 3 simulated seconds each, fanned over
+  //    common::ThreadPool::shared() against one const RiskMonitor engine.
+  eval::StreamRunner::Options options;
+  options.max_seconds = 3.0;
+  options.label_prefix = "demo";
+  const eval::StreamRunner runner(options);
+  const auto outcomes = runner.run(8, make_stream_world);
+
+  std::printf("%-8s %6s %10s %10s %12s %10s\n", "stream", "steps", "max STI",
+              "mean STI", "escalations", "collided");
+  for (const auto& o : outcomes) {
+    std::printf("%-8s %6d %10.3f %10.3f %12d %10s\n", o.label.c_str(), o.steps,
+                o.max_sti, o.mean_sti, o.escalations, o.ego_collided ? "yes" : "no");
+  }
+
+  // 2. The same engine/session API, hand-driven: engines hoist, sessions
+  //    iterate. The session keeps the propagation scratch warm across ticks
+  //    (steady-state updates allocate only the tube they return) and carries
+  //    the monitor's level/hysteresis state.
+  const core::RiskMonitor engine;  // immutable: update() is const
+  core::RiskSession session;       // this stream's entire mutable state
+  sim::World world = make_stream_world(0);
+  for (int step = 0; step < 10 && !world.ego_collided(); ++step) {
+    const auto assessment = engine.update(session, world);
+    std::printf("tick %2d  STI %.3f  level %s\n", step, assessment.sti_combined,
+                std::string(core::risk_level_name(assessment.level)).c_str());
+    world.step(dynamics::Control{});
+  }
+  std::printf("session: %ld updates, final level %s\n", session.updates(),
+              std::string(core::risk_level_name(session.level())).c_str());
+  return 0;
+}

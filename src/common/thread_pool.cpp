@@ -1,6 +1,26 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
+
 namespace iprism::common {
+
+namespace {
+
+// Set for the lifetime of worker_loop; worker threads die with their pool,
+// so the pointer can never dangle into a destroyed pool.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool& ThreadPool::shared() {
+  // Meyers singleton: joined after main() returns, which is after every
+  // engine holding a pointer to it has been destroyed (engines live in
+  // automatic or test-fixture storage, never in statics).
+  static ThreadPool pool(std::max<std::size_t>(2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+const ThreadPool* ThreadPool::current() { return t_worker_pool; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   workers_.reserve(threads);
@@ -19,6 +39,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> job;
     {

@@ -43,6 +43,21 @@ class ThreadPool {
   /// Spawns `threads` workers. 0 = no workers; tasks run inline in submit().
   explicit ThreadPool(std::size_t threads);
 
+  /// The process-wide pool: constructed on first use, sized
+  /// max(2, hardware_concurrency), joined at static destruction. Engines
+  /// (StiCalculator, RiskMonitor) default to this pool so M instances share
+  /// one set of workers instead of oversubscribing the machine with M pools.
+  /// Tests that need an isolated pool pass their own explicitly.
+  static ThreadPool& shared();
+
+  /// The pool whose worker is executing the calling thread, or nullptr when
+  /// called from a non-worker thread. Lets parallel_for_each detect nested
+  /// fan-out onto the pool it is already running on (which would deadlock
+  /// once every worker blocks in a nested wait) and degrade it to the serial
+  /// loop instead — safe because results are thread-count independent
+  /// (DESIGN.md §8).
+  static const ThreadPool* current();
+
   /// Joins all workers after draining the queue (pending futures complete).
   ~ThreadPool();
 
@@ -90,9 +105,16 @@ class ThreadPool {
 /// job finished, and the first exception (by index order of discovery) is
 /// rethrown. `fn` must write only index-owned state; index i is handled by
 /// exactly one thread.
+///
+/// Re-entrancy: when called from a worker of `pool` itself (a task fanning
+/// out onto its own pool), the loop runs inline on that worker. Enqueueing
+/// would deadlock as soon as every worker blocks waiting on nested futures
+/// only the blocked workers could run. Because every call site aggregates by
+/// index, inline execution produces the same bits as fanned execution.
 template <typename Fn>
 void parallel_for_each(ThreadPool* pool, std::size_t count, Fn&& fn) {
-  if (pool == nullptr || pool->thread_count() == 0) {
+  if (pool == nullptr || pool->thread_count() == 0 ||
+      ThreadPool::current() == pool) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }

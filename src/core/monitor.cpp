@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/telemetry.hpp"
 #include "common/units.hpp"
+#include "core/session_state.hpp"
 
 namespace iprism::core {
 
@@ -27,8 +28,8 @@ std::string_view risk_level_name(RiskLevel level) {
   return "unknown";
 }
 
-RiskMonitor::RiskMonitor(const RiskMonitorParams& params)
-    : params_(params), sti_(params.tube) {
+RiskMonitor::RiskMonitor(const RiskMonitorParams& params, common::ThreadPool* pool)
+    : params_(params), sti_(params.tube, pool) {
   IPRISM_CHECK(params.caution_threshold > 0.0 &&
                    params.critical_threshold > params.caution_threshold,
                "RiskMonitorParams: thresholds must satisfy 0 < caution < critical");
@@ -36,16 +37,18 @@ RiskMonitor::RiskMonitor(const RiskMonitorParams& params)
                "RiskMonitorParams: hysteresis_updates must be >= 1");
 }
 
-void RiskMonitor::reset() {
-  level_ = RiskLevel::kSafe;
-  quiet_streak_ = 0;
-  updates_ = 0;
-}
+void RiskMonitor::reset() { session_.reset(); }
 
 RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
+  return update(session_, world);
+}
+
+RiskMonitor::Assessment RiskMonitor::update(RiskSession& session,
+                                            const sim::World& world) const {
   IPRISM_SCOPED_TIMER("monitor.update", "monitor");
   IPRISM_CHECK(world.has_ego(), "RiskMonitor: world has no ego");
-  ++updates_;
+  detail::SessionState& st = session.state();
+  ++st.updates;
 
   const auto forecasts =
       cvtr_forecasts(world, params_.tube.horizon, params_.tube.dt);
@@ -61,15 +64,14 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
   // — and decide attribution from the *implied* level of the STI it returns
   // (below), not from the stale pre-update level_.
   std::optional<StiResult> full;
-  if (may_attribute && level_ >= RiskLevel::kCaution) {
+  if (may_attribute && st.level >= RiskLevel::kCaution) {
     IPRISM_COUNT("monitor.attribution_runs");
-    full = sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
-                        forecasts);
+    full = sti_.compute(session, world.map(), world.ego().state,
+                        common::Seconds{world.time()}, forecasts);
     out.sti_combined = full->combined;
   } else {
-    out.sti_combined =
-        sti_.combined(world.map(), world.ego().state, common::Seconds{world.time()},
-                      forecasts);
+    out.sti_combined = sti_.combined(session, world.map(), world.ego().state,
+                                     common::Seconds{world.time()}, forecasts);
   }
 
   // STI is clamped to [0, 1] by construction; the threshold comparison
@@ -91,10 +93,10 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
   // deterministic (DESIGN.md §8) and both engines derive |T| and |T^{∅}|
   // identically (§12), so full.combined is bit-identical to the value
   // already in out.sti_combined and `implied` stands.
-  if (may_attribute && implied > level_ && !full) {
+  if (may_attribute && implied > st.level && !full) {
     IPRISM_COUNT("monitor.attribution_runs");
-    full = sti_.compute(world.map(), world.ego().state, common::Seconds{world.time()},
-                        forecasts);
+    full = sti_.compute(session, world.map(), world.ego().state,
+                        common::Seconds{world.time()}, forecasts);
     // NOLINTNEXTLINE(iprism-float-eq): the determinism contract is bit-exact
     IPRISM_DCHECK(full->combined == out.sti_combined,
                   "RiskMonitor: attribution re-run disagrees with combined()");
@@ -106,24 +108,24 @@ RiskMonitor::Assessment RiskMonitor::update(const sim::World& world) {
     }
   }
 
-  if (implied > level_) {
+  if (implied > st.level) {
     // Escalation is immediate — a warning must not lag the threat.
     IPRISM_COUNT("monitor.level_transitions");
-    level_ = implied;
-    quiet_streak_ = 0;
-  } else if (implied < level_) {
+    st.level = implied;
+    st.quiet_streak = 0;
+  } else if (implied < st.level) {
     // De-escalation needs a stable quiet period (one level at a time).
-    if (++quiet_streak_ >= params_.hysteresis_updates) {
+    if (++st.quiet_streak >= params_.hysteresis_updates) {
       IPRISM_COUNT("monitor.level_transitions");
-      level_ = static_cast<RiskLevel>(static_cast<int>(level_) - 1);
-      quiet_streak_ = 0;
+      st.level = static_cast<RiskLevel>(static_cast<int>(st.level) - 1);
+      st.quiet_streak = 0;
     }
   } else {
-    quiet_streak_ = 0;
+    st.quiet_streak = 0;
   }
-  IPRISM_GAUGE_SET("monitor.level", static_cast<int>(level_));
+  IPRISM_GAUGE_SET("monitor.level", static_cast<int>(st.level));
 
-  out.level = level_;
+  out.level = st.level;
   return out;
 }
 

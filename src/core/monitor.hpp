@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "core/session.hpp"
 #include "core/sti.hpp"
 
 namespace iprism::core {
@@ -43,9 +44,18 @@ struct RiskMonitorParams {
   ReachTubeParams tube;
 };
 
+/// An immutable engine after construction (DESIGN.md §14): params plus the
+/// embedded STI engine. All mutable monitoring state — level, quiet streak,
+/// update count — lives in a RiskSession, so one monitor serves any number
+/// of concurrent streams, each with its own session. The session-less
+/// overloads below run against a monitor-owned session, preserving the
+/// pre-split single-stream API and semantics exactly.
 class RiskMonitor {
  public:
-  explicit RiskMonitor(const RiskMonitorParams& params = {});
+  /// `pool` is forwarded to the STI engine: null = the process-wide
+  /// common::ThreadPool::shared() when `params.tube.num_threads > 0`.
+  explicit RiskMonitor(const RiskMonitorParams& params = {},
+                       common::ThreadPool* pool = nullptr);
 
   struct Assessment {
     double sti_combined = 0.0;
@@ -58,22 +68,31 @@ class RiskMonitor {
     double riskiest_sti = 0.0;
   };
 
-  /// One monitoring step on the live world (checked: world needs an ego).
+  /// One monitoring step of `session`'s stream on the live world (checked:
+  /// world needs an ego). Const: every mutation lands in the session, so
+  /// concurrent calls with *distinct* sessions are safe on one monitor.
+  Assessment update(RiskSession& session, const sim::World& world) const;
+
+  /// Single-stream form: runs against the monitor's own session.
   Assessment update(const sim::World& world);
 
-  RiskLevel level() const { return level_; }
-  /// Number of updates processed so far.
-  long updates() const { return updates_; }
+  const StiCalculator& sti_calculator() const { return sti_; }
 
-  /// Forgets all state (level back to kSafe).
+  // Owned-session accessors (the legacy single-stream API; for external
+  // sessions read RiskSession::level() / updates() directly).
+  RiskLevel level() const { return session_.level(); }
+  /// Number of updates processed so far.
+  long updates() const { return session_.updates(); }
+
+  /// Forgets the owned session's state (level back to kSafe).
   void reset();
 
  private:
   RiskMonitorParams params_;
   StiCalculator sti_;
-  RiskLevel level_ = RiskLevel::kSafe;
-  int quiet_streak_ = 0;
-  long updates_ = 0;
+  /// Backs the session-less update() overload. Not touched by the
+  /// session-first overload.
+  RiskSession session_;
 };
 
 }  // namespace iprism::core

@@ -8,20 +8,21 @@
 #include "common/flat_hash.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "core/session_state.hpp"
 #include "dynamics/step_batch.hpp"
 #include "geom/batch.hpp"
 
 namespace iprism::core {
-namespace {
 
-/// Lane-block size for the staged propagation (DESIGN.md §13): parent×control
-/// pairs are queued into structure-of-arrays buffers until at least this many
-/// lanes are pending, then batch-stepped, batch-analyzed, and consumed by one
-/// sequential decision pass. The value trades cache residency of the lane
-/// buffers against amortizing per-block fixed costs; results are independent
-/// of it — every kernel is a pure per-lane computation and the decision pass
-/// preserves candidate order.
-constexpr std::size_t kLaneBlock = 1024;
+// The propagation scratch (detail::TubeScratch, detail::kLaneBlock) lives in
+// core/session_state.hpp since the engine/session split: sessions own and
+// pool it across ticks, and every entry point below leases it back through a
+// detail::ScratchLease.
+using detail::CellReps;
+using detail::kLaneBlock;
+using detail::TubeScratch;
+
+namespace {
 
 /// Packs a quantized (x, y) cell into a hashable key. Coordinates are
 /// offset to keep them positive over any realistic map extent. `inv_cell`
@@ -34,14 +35,6 @@ std::uint64_t xy_key(double x, double y, double inv_cell) {
       static_cast<std::int64_t>(std::floor(y * inv_cell)) + (1LL << 30));
   return (ix << 32) | (iy & 0xFFFFFFFFULL);
 }
-
-/// Per-(x, y)-cell representative bookkeeping: the four extreme states
-/// (min/max speed, min/max heading) that determine the cell's future
-/// spread. Slots index into the slice's state vector.
-struct CellReps {
-  int min_v = -1, max_v = -1, min_h = -1, max_h = -1;
-  double v_lo = 0.0, v_hi = 0.0, h_lo = 0.0, h_hi = 0.0;
-};
 
 static_assert(sizeof(dynamics::VehicleState) == 4 * sizeof(double),
               "VehicleState must stay four packed doubles: the blocked-by "
@@ -70,90 +63,6 @@ bool bits_equal(const dynamics::VehicleState& a, const dynamics::VehicleState& b
 }
 
 }  // namespace
-
-/// Per-propagation scratch, reused across the slice loop. Everything is
-/// pre-reserved once and cleared per slice with capacity retained, so after
-/// the first slice the loop performs zero steady-state allocations. The
-/// hash containers are common::FlatHashGrid: iteration order is insertion
-/// order by construction, independent of capacity and load factor, so —
-/// unlike the std::unordered_* scratch this replaced — pre-reserving (or
-/// varying ReachTubeParams::scratch_reserve) cannot perturb tube results
-/// (DESIGN.md §9).
-struct ReachTubeComputer::TubeScratch {
-  common::FlatHashGrid<CellReps> cells;
-  common::FlatKeySet occupied;  // volume when dedup is off
-  std::vector<dynamics::VehicleState> candidates;
-  std::vector<char> seen;  // per-candidate emit flags (collect pass)
-  /// Surviving-representative slots paired with their SplitMix64 sort key
-  /// (precomputed once so the emission sort never re-mixes in a comparator).
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> kept;
-  std::vector<std::uint32_t> active;  // per-slice obstacle active-set
-  /// Per-obstacle exclusion flags, resolved once per propagation (from an
-  /// ActorId for the public compute(), from an obstacle index / lift-all for
-  /// the counterfactual replays) so the per-slice active-set build does one
-  /// byte test per obstacle.
-  std::vector<char> excluded;
-
-  /// Structure-of-arrays lane buffers for the staged propagation (§13). A
-  /// "lane" is one pending parent×control pair; `count` lanes are queued,
-  /// then the whole block runs through stages 1–4 before the decision pass
-  /// consumes it. Every array is sized once to the scratch's lane capacity
-  /// (kLaneBlock plus one parent's worst-case control count, so the flush
-  /// threshold can never overflow a block), keeping the slice loop free of
-  /// lane-buffer allocations.
-  struct Lanes {
-    std::size_t count = 0;
-    // Stage-0 inputs, queued parent-major in exact scalar candidate order.
-    std::vector<double> px, py, ph, pv, accel, tan_steer;
-    // Stage-1 outputs: batch-stepped successor states and their cell keys.
-    std::vector<double> nx, ny, nh, nv;
-    std::vector<std::uint64_t> key;
-    // Stage-2/3 outputs: footprint long axis, corner AABB, broad-phase mask.
-    std::vector<double> ax, ay, lo_x, lo_y, hi_x, hi_y;
-    std::vector<unsigned char> broad;
-    // Stage-4 outputs: saturating hit count and the first hitting obstacle.
-    std::vector<std::uint8_t> hits;
-    std::vector<std::uint32_t> first_hit;
-
-    void allocate(std::size_t cap) {
-      for (auto* v : {&px, &py, &ph, &pv, &accel, &tan_steer, &nx, &ny, &nh, &nv, &ax,
-                      &ay, &lo_x, &lo_y, &hi_x, &hi_y}) {
-        v->resize(cap);
-      }
-      key.resize(cap);
-      broad.resize(cap);
-      hits.resize(cap);
-      first_hit.resize(cap);
-    }
-
-    void push(const dynamics::VehicleState& s, double a, double tan_phi) {
-      px[count] = s.x;
-      py[count] = s.y;
-      ph[count] = s.heading;
-      pv[count] = s.speed;
-      accel[count] = a;
-      tan_steer[count] = tan_phi;
-      ++count;
-    }
-  };
-  Lanes lanes;
-
-  TubeScratch(std::size_t expected, std::size_t obstacle_count, std::size_t lane_capacity) {
-    cells.reserve(expected);
-    occupied.reserve(expected);
-    candidates.reserve(expected);
-    kept.reserve(expected);
-    active.reserve(obstacle_count);
-    excluded.assign(obstacle_count, 0);
-    lanes.allocate(lane_capacity);
-  }
-
-  void next_slice() {
-    cells.clear();
-    occupied.clear();
-    candidates.clear();
-  }
-};
 
 void ObstacleTimeline::finalize() {
   circumradius_by_slice.clear();
@@ -575,7 +484,7 @@ void ReachTubeComputer::load_active_set(const TubeAttribution& attr, TubeScratch
   }
 }
 
-ReachTubeComputer::TubeScratch ReachTubeComputer::make_scratch(
+ReachTubeComputer::ScratchShape ReachTubeComputer::scratch_shape(
     std::size_t obstacle_count) const {
   const std::size_t expected =
       params_.scratch_reserve > 0
@@ -589,7 +498,7 @@ ReachTubeComputer::TubeScratch ReachTubeComputer::make_scratch(
           ? boundary_set_.size()
           : std::max(boundary_set_.size(),
                      static_cast<std::size_t>(params_.uniform_samples));
-  return TubeScratch(expected, obstacle_count, kLaneBlock + per_parent);
+  return ScratchShape{expected, obstacle_count, kLaneBlock + per_parent};
 }
 
 void ReachTubeComputer::check_timelines(std::span<const ObstacleTimeline> obstacles) const {
@@ -602,7 +511,7 @@ void ReachTubeComputer::check_timelines(std::span<const ObstacleTimeline> obstac
   }
 }
 
-ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
+ReachTube ReachTubeComputer::compute(RiskSession& session, const roadmap::DrivableMap& map,
                                      const dynamics::VehicleState& ego,
                                      std::span<const ObstacleTimeline> obstacles,
                                      common::ActorId exclude) const {
@@ -615,7 +524,10 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
 
-  TubeScratch scratch = make_scratch(obstacles.size());
+  const ScratchShape shape = scratch_shape(obstacles.size());
+  const detail::ScratchLease lease(session.state().scratch_pool, shape.expected,
+                                   shape.obstacles, shape.lanes);
+  TubeScratch& scratch = *lease;
   // ActorId::none() compares equal to no real (>= 0) actor id, so the
   // default excludes nobody — including anonymous hand-built timelines.
   if (exclude.valid()) {
@@ -659,8 +571,21 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
   return tube;
 }
 
+ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
+                                     const dynamics::VehicleState& ego,
+                                     std::span<const ObstacleTimeline> obstacles,
+                                     common::ActorId exclude) const {
+  // Legacy session-less form: a transient session leases a cold scratch and
+  // throws it away. Bit-identical by construction — the session only decides
+  // *where* scratch comes from, never what the propagation computes
+  // (DESIGN.md §9/§14).
+  RiskSession session;
+  return compute(session, map, ego, obstacles, exclude);
+}
+
 AttributedTube ReachTubeComputer::compute_attributed(
-    const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
+    RiskSession& session, const roadmap::DrivableMap& map,
+    const dynamics::VehicleState& ego,
     std::span<const ObstacleTimeline> obstacles) const {
   check_timelines(obstacles);
   IPRISM_SCOPED_TIMER("reachtube.compute_attributed", "reachtube");
@@ -675,7 +600,10 @@ AttributedTube ReachTubeComputer::compute_attributed(
   attr.first_sole_block.assign(obstacles.size(), TubeAttribution::kNever);
   attr.obstacle_count = obstacles.size();
 
-  TubeScratch scratch = make_scratch(obstacles.size());  // excluded: all zero
+  const ScratchShape shape = scratch_shape(obstacles.size());
+  const detail::ScratchLease lease(session.state().scratch_pool, shape.expected,
+                                   shape.obstacles, shape.lanes);
+  TubeScratch& scratch = *lease;  // excluded: all zero after reset
 
   // Per-slice active obstacle sets, built exactly once per (obstacle set,
   // seed): the disc test is a pure function of (obstacle, seed, slice), so
@@ -771,10 +699,18 @@ AttributedTube ReachTubeComputer::compute_attributed(
   return out;
 }
 
-ReachTube ReachTubeComputer::replay_counterfactual(
+AttributedTube ReachTubeComputer::compute_attributed(
     const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
-    std::span<const ObstacleTimeline> obstacles, const AttributedTube& base,
-    bool exclude_all, std::size_t exclude_index, CounterfactualStats* stats) const {
+    std::span<const ObstacleTimeline> obstacles) const {
+  RiskSession session;
+  return compute_attributed(session, map, ego, obstacles);
+}
+
+ReachTube ReachTubeComputer::replay_counterfactual(
+    RiskSession& session, const roadmap::DrivableMap& map,
+    const dynamics::VehicleState& ego, std::span<const ObstacleTimeline> obstacles,
+    const AttributedTube& base, bool exclude_all, std::size_t exclude_index,
+    CounterfactualStats* stats) const {
   const TubeAttribution& attr = base.attribution;
   IPRISM_CHECK(attr.obstacle_count == obstacles.size() &&
                    attr.slices.size() == static_cast<std::size_t>(slices_) + 1 &&
@@ -800,7 +736,10 @@ ReachTube ReachTubeComputer::replay_counterfactual(
   ReachTube tube;
   tube.slices.assign(static_cast<std::size_t>(slices_) + 1, {});
 
-  TubeScratch scratch = make_scratch(obstacles.size());
+  const ScratchShape shape = scratch_shape(obstacles.size());
+  const detail::ScratchLease lease(session.state().scratch_pool, shape.expected,
+                                   shape.obstacles, shape.lanes);
+  TubeScratch& scratch = *lease;
   if (exclude_all) {
     scratch.excluded.assign(obstacles.size(), 1);
   } else {
@@ -869,11 +808,31 @@ ReachTube ReachTubeComputer::replay_counterfactual(
 }
 
 ReachTube ReachTubeComputer::compute_counterfactual(
+    RiskSession& session, const roadmap::DrivableMap& map,
+    const dynamics::VehicleState& ego, std::span<const ObstacleTimeline> obstacles,
+    const AttributedTube& base, std::size_t exclude_index,
+    CounterfactualStats* stats) const {
+  return replay_counterfactual(session, map, ego, obstacles, base,
+                               /*exclude_all=*/false, exclude_index, stats);
+}
+
+ReachTube ReachTubeComputer::compute_counterfactual(
     const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
     std::span<const ObstacleTimeline> obstacles, const AttributedTube& base,
     std::size_t exclude_index, CounterfactualStats* stats) const {
-  return replay_counterfactual(map, ego, obstacles, base, /*exclude_all=*/false,
-                               exclude_index, stats);
+  RiskSession session;
+  return compute_counterfactual(session, map, ego, obstacles, base, exclude_index,
+                                stats);
+}
+
+ReachTube ReachTubeComputer::compute_unblocked(RiskSession& session,
+                                               const roadmap::DrivableMap& map,
+                                               const dynamics::VehicleState& ego,
+                                               std::span<const ObstacleTimeline> obstacles,
+                                               const AttributedTube& base,
+                                               CounterfactualStats* stats) const {
+  return replay_counterfactual(session, map, ego, obstacles, base,
+                               /*exclude_all=*/true, /*exclude_index=*/0, stats);
 }
 
 ReachTube ReachTubeComputer::compute_unblocked(const roadmap::DrivableMap& map,
@@ -881,8 +840,17 @@ ReachTube ReachTubeComputer::compute_unblocked(const roadmap::DrivableMap& map,
                                                std::span<const ObstacleTimeline> obstacles,
                                                const AttributedTube& base,
                                                CounterfactualStats* stats) const {
-  return replay_counterfactual(map, ego, obstacles, base, /*exclude_all=*/true,
-                               /*exclude_index=*/0, stats);
+  RiskSession session;
+  return compute_unblocked(session, map, ego, obstacles, base, stats);
+}
+
+ReachTube ReachTubeComputer::compute(RiskSession& session, const roadmap::DrivableMap& map,
+                                     const dynamics::VehicleState& ego,
+                                     common::Seconds t0,
+                                     std::span<const ActorForecast> forecasts,
+                                     common::ActorId exclude) const {
+  const auto obstacles = sample_obstacles(forecasts, t0);
+  return compute(session, map, ego, obstacles, exclude);
 }
 
 ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
@@ -890,8 +858,8 @@ ReachTube ReachTubeComputer::compute(const roadmap::DrivableMap& map,
                                      common::Seconds t0,
                                      std::span<const ActorForecast> forecasts,
                                      common::ActorId exclude) const {
-  const auto obstacles = sample_obstacles(forecasts, t0);
-  return compute(map, ego, obstacles, exclude);
+  RiskSession session;
+  return compute(session, map, ego, t0, forecasts, exclude);
 }
 
 }  // namespace iprism::core

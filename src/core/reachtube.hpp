@@ -31,11 +31,16 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/scene.hpp"
+#include "core/session.hpp"
 #include "dynamics/bicycle.hpp"
 #include "dynamics/state.hpp"
 #include "roadmap/map.hpp"
 
 namespace iprism::core {
+
+namespace detail {
+struct TubeScratch;
+}  // namespace detail
 
 struct ReachTubeParams {
   double dt = 0.25;          ///< time-slice size (s)
@@ -218,14 +223,32 @@ class ReachTubeComputer {
   std::vector<ObstacleTimeline> sample_obstacles(
       std::span<const ActorForecast> forecasts, common::Seconds t0) const;
 
+  // Every computation below comes in two forms (engine/session split,
+  // DESIGN.md §14): the session-first form leases its scratch from the given
+  // RiskSession — warm after the first call, so a reused session performs
+  // zero steady-state scratch allocations across ticks — and the legacy
+  // session-less form, a thin wrapper constructing a transient session.
+  // Both are const: the computer is an immutable engine; all mutation lands
+  // in the session. Results are bit-identical between the two forms and
+  // across fresh vs reused sessions (enforced by the SessionIdentity and
+  // TubeAlloc suites).
+
   /// Computes the tube from `ego` at t0 against the given obstacles.
   /// A valid `exclude` drops that actor — the counterfactual "what if
   /// actor i were not present" of Eq. (2); ActorId::none() excludes nobody.
+  ReachTube compute(RiskSession& session, const roadmap::DrivableMap& map,
+                    const dynamics::VehicleState& ego,
+                    std::span<const ObstacleTimeline> obstacles,
+                    common::ActorId exclude = common::ActorId::none()) const;
   ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
                     std::span<const ObstacleTimeline> obstacles,
                     common::ActorId exclude = common::ActorId::none()) const;
 
   /// Convenience: forecast sampling + tube in one call.
+  ReachTube compute(RiskSession& session, const roadmap::DrivableMap& map,
+                    const dynamics::VehicleState& ego, common::Seconds t0,
+                    std::span<const ActorForecast> forecasts,
+                    common::ActorId exclude = common::ActorId::none()) const;
   ReachTube compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
                     common::Seconds t0, std::span<const ActorForecast> forecasts,
                     common::ActorId exclude = common::ActorId::none()) const;
@@ -233,6 +256,9 @@ class ReachTubeComputer {
   /// One attributed base propagation: the tube is bit-identical to
   /// compute(map, ego, obstacles) — attribution only *records*, it never
   /// steers — plus the blocked-by record the replays below consume.
+  AttributedTube compute_attributed(RiskSession& session, const roadmap::DrivableMap& map,
+                                    const dynamics::VehicleState& ego,
+                                    std::span<const ObstacleTimeline> obstacles) const;
   AttributedTube compute_attributed(const roadmap::DrivableMap& map,
                                     const dynamics::VehicleState& ego,
                                     std::span<const ObstacleTimeline> obstacles) const;
@@ -242,6 +268,11 @@ class ReachTubeComputer {
   /// when actor ids are unique; `base` must come from compute_attributed over
   /// the same (map, ego, obstacles). When the obstacle rejected nothing the
   /// base tube is returned verbatim (stats->free, zero re-expansion).
+  ReachTube compute_counterfactual(RiskSession& session, const roadmap::DrivableMap& map,
+                                   const dynamics::VehicleState& ego,
+                                   std::span<const ObstacleTimeline> obstacles,
+                                   const AttributedTube& base, std::size_t exclude_index,
+                                   CounterfactualStats* stats = nullptr) const;
   ReachTube compute_counterfactual(const roadmap::DrivableMap& map,
                                    const dynamics::VehicleState& ego,
                                    std::span<const ObstacleTimeline> obstacles,
@@ -250,6 +281,11 @@ class ReachTubeComputer {
 
   /// |T^{∅}| by replay with *all* blockers lifted. Bit-identical to
   /// compute(map, ego, {}) — an empty obstacles span.
+  ReachTube compute_unblocked(RiskSession& session, const roadmap::DrivableMap& map,
+                              const dynamics::VehicleState& ego,
+                              std::span<const ObstacleTimeline> obstacles,
+                              const AttributedTube& base,
+                              CounterfactualStats* stats = nullptr) const;
   ReachTube compute_unblocked(const roadmap::DrivableMap& map,
                               const dynamics::VehicleState& ego,
                               std::span<const ObstacleTimeline> obstacles,
@@ -257,7 +293,6 @@ class ReachTubeComputer {
                               CounterfactualStats* stats = nullptr) const;
 
  private:
-  struct TubeScratch;
 
   /// Shared propagation loop: runs slice loops [first_loop, slice_count)
   /// given tube.slices[first_loop] (and everything before it) already
@@ -282,10 +317,10 @@ class ReachTubeComputer {
   /// answers are proven equal case by case.
   template <class Activate, class Analyze, class Consult, class OnLoopBegin,
             class OnSliceDone>
-  void propagate(TubeScratch& scratch, ReachTube& tube, std::size_t& volume_cells,
-                 common::Rng& rng, int first_loop, Activate&& activate,
-                 Analyze&& analyze, Consult&& consult, OnLoopBegin&& on_loop_begin,
-                 OnSliceDone&& on_slice_done) const;
+  void propagate(detail::TubeScratch& scratch, ReachTube& tube,
+                 std::size_t& volume_cells, common::Rng& rng, int first_loop,
+                 Activate&& activate, Analyze&& analyze, Consult&& consult,
+                 OnLoopBegin&& on_loop_begin, OnSliceDone&& on_slice_done) const;
 
   /// Stages (2)–(4) over the pending lane block: batch footprint axes and
   /// corner AABBs (geom/batch.hpp), then per active obstacle a vectorized
@@ -293,24 +328,32 @@ class ReachTubeComputer {
   /// the survivors. Fills lanes.{ax,ay,lox,loy,hix,hiy,hits,first_hit};
   /// per-lane hit counting saturates at `max_hits` (1 answers pass/fail,
   /// 2 distinguishes kSole from kMulti).
-  void analyze_lanes(std::span<const ObstacleTimeline> obstacles, TubeScratch& scratch,
-                     common::SliceIdx slice, int max_hits) const;
+  void analyze_lanes(std::span<const ObstacleTimeline> obstacles,
+                     detail::TubeScratch& scratch, common::SliceIdx slice,
+                     int max_hits) const;
 
   /// Loads `scratch.active` for one slice from the attribution's precomputed
   /// per-slice sets, dropping indices flagged in `scratch.excluded`. Equal to
   /// build_active_set with the same exclusions: the disc test is a pure
   /// function of (obstacle, seed, slice), independent of exclusions.
-  void load_active_set(const TubeAttribution& attr, TubeScratch& scratch,
+  void load_active_set(const TubeAttribution& attr, detail::TubeScratch& scratch,
                        std::size_t slice) const;
 
-  /// Scratch sized for this computer's params: `obstacle_count` exclusion
-  /// flags and lane buffers big enough that the per-slice flush loop never
+  /// The scratch shape this computer's params demand: expected entries (the
+  /// scratch_reserve hint or its auto default), `obstacle_count` exclusion
+  /// flags, and lane buffers big enough that the per-slice flush loop never
   /// reallocates (kLaneBlock plus one parent's worst-case control count).
-  TubeScratch make_scratch(std::size_t obstacle_count) const;
+  /// Fed to detail::TubeScratch::reset by every scratch lease.
+  struct ScratchShape {
+    std::size_t expected = 0;
+    std::size_t obstacles = 0;
+    std::size_t lanes = 0;
+  };
+  ScratchShape scratch_shape(std::size_t obstacle_count) const;
 
   /// Replay core shared by compute_counterfactual / compute_unblocked:
   /// `exclude_index` is ignored when `exclude_all` is set.
-  ReachTube replay_counterfactual(const roadmap::DrivableMap& map,
+  ReachTube replay_counterfactual(RiskSession& session, const roadmap::DrivableMap& map,
                                   const dynamics::VehicleState& ego,
                                   std::span<const ObstacleTimeline> obstacles,
                                   const AttributedTube& base, bool exclude_all,
@@ -321,7 +364,7 @@ class ReachTubeComputer {
   /// cannot touch the seed's conservative reachable disc — or whose index is
   /// flagged in `scratch.excluded` — are filtered out.
   void build_active_set(std::span<const ObstacleTimeline> obstacles,
-                        const dynamics::VehicleState& seed, TubeScratch& scratch,
+                        const dynamics::VehicleState& seed, detail::TubeScratch& scratch,
                         common::SliceIdx slice) const;
 
   /// Fail-fast validation that every timeline was sliced for these params

@@ -1,0 +1,23 @@
+#include "core/session.hpp"
+
+#include "core/session_state.hpp"
+
+namespace iprism::core {
+
+RiskSession::RiskSession() : state_(std::make_unique<detail::SessionState>()) {}
+
+RiskSession::~RiskSession() = default;
+RiskSession::RiskSession(RiskSession&&) noexcept = default;
+RiskSession& RiskSession::operator=(RiskSession&&) noexcept = default;
+
+RiskLevel RiskSession::level() const { return state_->level; }
+
+long RiskSession::updates() const { return state_->updates; }
+
+void RiskSession::reset() {
+  state_->level = RiskLevel::kSafe;
+  state_->quiet_streak = 0;
+  state_->updates = 0;
+}
+
+}  // namespace iprism::core

@@ -14,10 +14,14 @@ double StiResult::max_actor_sti() const {
   return best;
 }
 
-StiCalculator::StiCalculator(const ReachTubeParams& params) : tube_(params) {
+StiCalculator::StiCalculator(const ReachTubeParams& params, common::ThreadPool* pool)
+    : tube_(params) {
+  // One process-wide pool by default: before the engine/session split every
+  // calculator spawned its own `num_threads` workers, so M monitors meant M
+  // pools oversubscribing the machine. `num_threads` now only gates serial
+  // vs pooled — the shared pool's width is sized once from the hardware.
   if (params.num_threads > 0) {
-    pool_ = std::make_shared<common::ThreadPool>(
-        static_cast<std::size_t>(params.num_threads));
+    pool_ = pool != nullptr ? pool : &common::ThreadPool::shared();
   }
 }
 
@@ -43,12 +47,12 @@ bool has_duplicate_valid_ids(std::span<const ActorForecast> forecasts) {
 
 }  // namespace
 
-StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
+StiResult StiCalculator::compute(RiskSession& session, const roadmap::DrivableMap& map,
                                  const dynamics::VehicleState& ego, common::Seconds t0,
                                  std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
   if (!tube_.params().delta_counterfactuals) {
-    return compute_scratch(map, ego, obstacles, forecasts);
+    return compute_scratch(session, map, ego, obstacles, forecasts);
   }
 
   StiResult out;
@@ -57,7 +61,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   AttributedTube base;
   {
     IPRISM_SCOPED_TIMER("sti.wave1", "sti");
-    base = tube_.compute_attributed(map, ego, obstacles);
+    base = tube_.compute_attributed(session, map, ego, obstacles);
   }
   out.volume_all = base.tube.volume;
 
@@ -71,12 +75,14 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   // replay re-derives active sets. Per-task work is uneven, but the
   // pool's one-task-per-index submission already load-balances at the
   // finest possible grain. Aggregation is by index, so results are
-  // bit-identical to the serial loop.
+  // bit-identical to the serial loop. Every task leases its own scratch
+  // from the one session — the lease pool is mutex-guarded exactly so a
+  // single session can serve its own fan-out.
   std::vector<double> vol(forecasts.size() + 1, 0.0);
   {
     IPRISM_SCOPED_TIMER("sti.wave2", "sti");
     IPRISM_COUNT_ADD("sti.counterfactuals", forecasts.size());
-    common::parallel_for_each(pool_.get(), forecasts.size() + 1, [&](std::size_t k) {
+    common::parallel_for_each(pool_, forecasts.size() + 1, [&](std::size_t k) {
       if (k == 0) {
         // |T^{∅}|: every blocker lifted. Identical to a propagation against
         // an empty obstacles span (active-set is empty either way).
@@ -86,7 +92,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
         }
         IPRISM_SCOPED_TIMER("sti.counterfactual.delta", "sti");
         CounterfactualStats st;
-        vol[0] = tube_.compute_unblocked(map, ego, obstacles, base, &st).volume;
+        vol[0] = tube_.compute_unblocked(session, map, ego, obstacles, base, &st).volume;
         IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
         return;
       }
@@ -101,7 +107,7 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
       }
       if (dup_ids) {
         IPRISM_SCOPED_TIMER("sti.counterfactual.scratch", "sti");
-        vol[k] = tube_.compute(map, ego, obstacles, id).volume;
+        vol[k] = tube_.compute(session, map, ego, obstacles, id).volume;
         return;
       }
       if (base.attribution.blocks_nothing(i)) {
@@ -111,7 +117,8 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
       }
       IPRISM_SCOPED_TIMER("sti.counterfactual.delta", "sti");
       CounterfactualStats st;
-      vol[k] = tube_.compute_counterfactual(map, ego, obstacles, base, i, &st).volume;
+      vol[k] =
+          tube_.compute_counterfactual(session, map, ego, obstacles, base, i, &st).volume;
       IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
     });
   }
@@ -143,7 +150,8 @@ StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
   return out;
 }
 
-StiResult StiCalculator::compute_scratch(const roadmap::DrivableMap& map,
+StiResult StiCalculator::compute_scratch(RiskSession& session,
+                                         const roadmap::DrivableMap& map,
                                          const dynamics::VehicleState& ego,
                                          std::span<const ObstacleTimeline> obstacles,
                                          std::span<const ActorForecast> forecasts) const {
@@ -154,10 +162,11 @@ StiResult StiCalculator::compute_scratch(const roadmap::DrivableMap& map,
   {
     IPRISM_SCOPED_TIMER("sti.wave1", "sti");
     double base[2] = {0.0, 0.0};
-    common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
+    common::parallel_for_each(pool_, 2, [&](std::size_t j) {
       base[j] = j == 0
-                    ? tube_.compute(map, ego, obstacles).volume
-                    : tube_.compute(map, ego, std::span<const ObstacleTimeline>{})
+                    ? tube_.compute(session, map, ego, obstacles).volume
+                    : tube_.compute(session, map, ego,
+                                    std::span<const ObstacleTimeline>{})
                           .volume;
     });
     out.volume_all = base[0];
@@ -181,10 +190,11 @@ StiResult StiCalculator::compute_scratch(const roadmap::DrivableMap& map,
   {
     IPRISM_SCOPED_TIMER("sti.wave2", "sti");
     IPRISM_COUNT_ADD("sti.counterfactuals", forecasts.size());
-    common::parallel_for_each(pool_.get(), forecasts.size(), [&](std::size_t i) {
+    common::parallel_for_each(pool_, forecasts.size(), [&](std::size_t i) {
       IPRISM_SCOPED_TIMER("sti.counterfactual.scratch", "sti");
       vol_without[i] =
-          tube_.compute(map, ego, obstacles, common::ActorId{forecasts[i].id}).volume;
+          tube_.compute(session, map, ego, obstacles, common::ActorId{forecasts[i].id})
+              .volume;
     });
   }
 
@@ -199,22 +209,22 @@ StiResult StiCalculator::compute_scratch(const roadmap::DrivableMap& map,
   return out;
 }
 
-double StiCalculator::combined(const roadmap::DrivableMap& map,
+double StiCalculator::combined(RiskSession& session, const roadmap::DrivableMap& map,
                                const dynamics::VehicleState& ego, common::Seconds t0,
                                std::span<const ActorForecast> forecasts) const {
   const auto obstacles = tube_.sample_obstacles(forecasts, t0);
   if (!tube_.params().delta_counterfactuals) {
-    return combined_scratch(map, ego, obstacles);
+    return combined_scratch(session, map, ego, obstacles);
   }
   IPRISM_SCOPED_TIMER("sti.combined", "sti");
   // One attributed propagation; |T^{∅}| derives from it by replay (free when
   // nothing was actor-blocked), so the two-tube wave is now one-plus-a-delta.
-  const AttributedTube base = tube_.compute_attributed(map, ego, obstacles);
+  const AttributedTube base = tube_.compute_attributed(session, map, ego, obstacles);
   const double vol_all = base.tube.volume;
   double vol_empty = vol_all;
   if (base.attribution.first_actor_block != TubeAttribution::kNever) {
     CounterfactualStats st;
-    vol_empty = tube_.compute_unblocked(map, ego, obstacles, base, &st).volume;
+    vol_empty = tube_.compute_unblocked(session, map, ego, obstacles, base, &st).volume;
     IPRISM_COUNT_ADD("sti.cf_delta_states", st.fresh_tests);
   }
   IPRISM_DCHECK(vol_all >= 0.0 && vol_empty >= 0.0,
@@ -223,15 +233,17 @@ double StiCalculator::combined(const roadmap::DrivableMap& map,
   return clamp01((vol_empty - vol_all) / vol_empty);
 }
 
-double StiCalculator::combined_scratch(const roadmap::DrivableMap& map,
+double StiCalculator::combined_scratch(RiskSession& session,
+                                       const roadmap::DrivableMap& map,
                                        const dynamics::VehicleState& ego,
                                        std::span<const ObstacleTimeline> obstacles) const {
   IPRISM_SCOPED_TIMER("sti.combined", "sti");
   double base[2] = {0.0, 0.0};
-  common::parallel_for_each(pool_.get(), 2, [&](std::size_t j) {
-    base[j] =
-        j == 0 ? tube_.compute(map, ego, obstacles).volume
-               : tube_.compute(map, ego, std::span<const ObstacleTimeline>{}).volume;
+  common::parallel_for_each(pool_, 2, [&](std::size_t j) {
+    base[j] = j == 0
+                  ? tube_.compute(session, map, ego, obstacles).volume
+                  : tube_.compute(session, map, ego, std::span<const ObstacleTimeline>{})
+                        .volume;
   });
   const double vol_all = base[0];
   const double vol_empty = base[1];
@@ -239,6 +251,22 @@ double StiCalculator::combined_scratch(const roadmap::DrivableMap& map,
                 "STI: tube volumes must be non-negative");
   if (vol_empty <= 0.0) return 0.0;
   return clamp01((vol_empty - vol_all) / vol_empty);
+}
+
+StiResult StiCalculator::compute(const roadmap::DrivableMap& map,
+                                 const dynamics::VehicleState& ego, common::Seconds t0,
+                                 std::span<const ActorForecast> forecasts) const {
+  // Legacy session-less form: transient session, cold scratch, identical
+  // bits (the session only supplies scratch storage — DESIGN.md §14).
+  RiskSession session;
+  return compute(session, map, ego, t0, forecasts);
+}
+
+double StiCalculator::combined(const roadmap::DrivableMap& map,
+                               const dynamics::VehicleState& ego, common::Seconds t0,
+                               std::span<const ActorForecast> forecasts) const {
+  RiskSession session;
+  return combined(session, map, ego, t0, forecasts);
 }
 
 }  // namespace iprism::core

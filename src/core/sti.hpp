@@ -48,17 +48,38 @@ struct StiResult {
 // CounterfactualDeltaIdentity suites enforce this).
 class StiCalculator {
  public:
-  explicit StiCalculator(const ReachTubeParams& params = {});
+  /// An immutable engine after construction (DESIGN.md §14): every compute
+  /// is const and mutates only the session it is handed. With
+  /// `params.num_threads > 0` the N+2 fan-out runs on `pool` when given, or
+  /// on the process-wide common::ThreadPool::shared() — M calculators share
+  /// one set of workers instead of spawning M pools. `num_threads == 0`
+  /// stays strictly serial (pool ignored). Thread count and pool choice
+  /// never change any result (DESIGN.md §8).
+  explicit StiCalculator(const ReachTubeParams& params = {},
+                         common::ThreadPool* pool = nullptr);
 
   const ReachTubeComputer& tube_computer() const { return tube_; }
+  /// The pool the fan-out runs on: null when serial, otherwise the injected
+  /// pool or ThreadPool::shared(). Exposed so tests can assert the one-pool
+  /// property.
+  const common::ThreadPool* pool() const { return pool_; }
 
   /// Full evaluation: combined STI plus one counterfactual tube per actor
-  /// (Eq. 4 for each i, Eq. 5 for the combined value).
+  /// (Eq. 4 for each i, Eq. 5 for the combined value). The session-first
+  /// form reuses the session's warm scratch across ticks; the session-less
+  /// form builds a transient session. Results are bit-identical either way
+  /// (SessionIdentity suites).
+  StiResult compute(RiskSession& session, const roadmap::DrivableMap& map,
+                    const dynamics::VehicleState& ego, common::Seconds t0,
+                    std::span<const ActorForecast> forecasts) const;
   StiResult compute(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
                     common::Seconds t0, std::span<const ActorForecast> forecasts) const;
 
   /// Combined STI only (two tubes instead of N+2) — the quantity the SMC
   /// reward needs at every training step.
+  double combined(RiskSession& session, const roadmap::DrivableMap& map,
+                  const dynamics::VehicleState& ego, common::Seconds t0,
+                  std::span<const ActorForecast> forecasts) const;
   double combined(const roadmap::DrivableMap& map, const dynamics::VehicleState& ego,
                   common::Seconds t0, std::span<const ActorForecast> forecasts) const;
 
@@ -66,18 +87,20 @@ class StiCalculator {
   /// The pre-§12 engine: N+2 independent propagations. Kept behind
   /// `delta_counterfactuals = false` for A/B benchmarking and as the
   /// from-scratch reference the identity suites compare against.
-  StiResult compute_scratch(const roadmap::DrivableMap& map,
+  StiResult compute_scratch(RiskSession& session, const roadmap::DrivableMap& map,
                             const dynamics::VehicleState& ego,
                             std::span<const ObstacleTimeline> obstacles,
                             std::span<const ActorForecast> forecasts) const;
-  double combined_scratch(const roadmap::DrivableMap& map,
+  double combined_scratch(RiskSession& session, const roadmap::DrivableMap& map,
                           const dynamics::VehicleState& ego,
                           std::span<const ObstacleTimeline> obstacles) const;
 
   ReachTubeComputer tube_;
-  /// Null when params.num_threads == 0 (serial). Shared so copies of the
-  /// calculator reuse one pool; submit() is thread-safe.
-  std::shared_ptr<common::ThreadPool> pool_;
+  /// Null when params.num_threads == 0 (serial); otherwise the injected pool
+  /// or &ThreadPool::shared(). Never owned: the shared pool outlives every
+  /// engine (function-local static), and injected pools are the injector's
+  /// responsibility.
+  common::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace iprism::core

@@ -114,5 +114,55 @@ TEST(ParallelForEach, ZeroCountIsANoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(SharedPool, SingletonIsStableAndSizedForTheHardware) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  // max(2, hardware_concurrency): never fewer than two workers, so the
+  // shared pool is a real pool even on a single-core CI box.
+  EXPECT_GE(a.thread_count(), 2u);
+}
+
+TEST(SharedPool, CurrentIsNullOffWorkersAndSelfOnWorkers) {
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  ThreadPool pool(2);
+  auto future = pool.submit([&pool] { return ThreadPool::current() == &pool; });
+  EXPECT_TRUE(future.get());
+  // A different pool's workers report their own pool, not this one.
+  auto shared_future =
+      ThreadPool::shared().submit([&pool] { return ThreadPool::current() != &pool; });
+  EXPECT_TRUE(shared_future.get());
+  EXPECT_EQ(ThreadPool::current(), nullptr);  // unchanged on the main thread
+}
+
+TEST(ParallelForEach, NestedFanOutOnTheSamePoolRunsInlineWithoutDeadlock) {
+  // A task that fans out onto its own pool must not enqueue (with every
+  // worker blocked in a nested wait nothing could ever run the nested jobs);
+  // it degrades to the serial loop on the same worker. Saturate the pool so
+  // a deadlock — not just slowness — is what a regression would produce.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<int> inline_runs{0};
+  parallel_for_each(&pool, 8, [&](std::size_t) {
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    parallel_for_each(&pool, 4, [&](std::size_t) {
+      ++inner_total;
+      if (std::this_thread::get_id() == outer_thread) ++inline_runs;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+  EXPECT_EQ(inline_runs.load(), 8 * 4);  // every nested index ran inline
+}
+
+TEST(ParallelForEach, NestedFanOutOnADifferentPoolStillFansOut) {
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> total{0};
+  parallel_for_each(&outer, 4, [&](std::size_t) {
+    parallel_for_each(&inner, 4, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 4 * 4);
+}
+
 }  // namespace
 }  // namespace iprism::common

@@ -117,6 +117,38 @@ TEST_P(TubeAllocTest, SteadyStateAllocationsAreOneExactBlockPerSlice) {
   EXPECT_EQ(allocs_long - allocs_short, long_slices - short_slices);
 }
 
+TEST_P(TubeAllocTest, ReusedSessionTicksAllocateTubeStorageOnly) {
+  const core::ReachTubeComputer rt(capped_params(GetParam(), 3.0));
+  const std::span<const core::ObstacleTimeline> none;
+  core::RiskSession session;
+
+  // Tick 1 warms the session: the scratch pool's free-list vector, the
+  // scratch block itself, its grid/candidate/lane reservations, plus the
+  // one-time telemetry registrations. All of it persists in the session.
+  const core::ReachTube warm = rt.compute(session, map_, ego_, none);
+  const std::size_t slices = produced_slices(warm);
+  ASSERT_GT(slices, 1u);
+
+  const auto count_tick = [&] {
+    const std::size_t before = g_allocations.load();
+    const core::ReachTube tube = rt.compute(session, map_, ego_, none);
+    const std::size_t after = g_allocations.load();
+    EXPECT_EQ(produced_slices(tube), slices);  // same shape every tick
+    return after - before;
+  };
+
+  // Steady state (DESIGN.md §14): a same-shape tick on a reused session
+  // allocates ONLY the tube storage it hands back — the outer slices vector,
+  // the slice-0 seed block, and one exact block per propagated slice. The
+  // lease pops a warmed scratch (no allocation) and reset() stays within its
+  // reserved capacity, so scratch contributes exactly zero. produced_slices
+  // counts the seed, hence 1 (outer) + slices (seed + propagated blocks).
+  const std::size_t tick2 = count_tick();
+  const std::size_t tick3 = count_tick();
+  EXPECT_EQ(tick2, 1 + slices);
+  EXPECT_EQ(tick3, tick2);
+}
+
 INSTANTIATE_TEST_SUITE_P(DedupModes, TubeAllocTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "dedup" : "nodedup";

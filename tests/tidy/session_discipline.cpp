@@ -1,0 +1,91 @@
+// Negative fixture for iprism-session-discipline.
+//
+// tools/check_tidy_fixtures.sh asserts clang-tidy flags exactly the
+// `CHECK-FLAG` lines. Risk-stack engines (ReachTubeComputer, StiCalculator,
+// RiskMonitor) are immutable after construction — building one inside a
+// loop body rebuilds kernels and re-validates params every iteration and
+// discards the session's warm scratch. Engines hoist; sessions iterate.
+//
+// Stub classes: the fixture compiles standalone (no repo headers), and the
+// check matches by fully-qualified name, so these stand in for the real
+// engines.
+
+namespace iprism::core {
+struct ReachTubeComputer {
+  ReachTubeComputer() {}
+};
+struct StiCalculator {
+  StiCalculator() {}
+};
+struct RiskMonitor {
+  RiskMonitor() {}
+};
+struct RiskSession {
+  RiskSession() {}
+};
+}  // namespace iprism::core
+
+namespace other {
+struct RiskMonitor {  // same name, wrong namespace: not an engine
+  RiskMonitor() {}
+};
+}  // namespace other
+
+void engines_in_loop_bodies() {
+  for (int i = 0; i < 4; ++i) {
+    iprism::core::ReachTubeComputer rt;  // CHECK-FLAG
+    (void)rt;
+  }
+  int n = 3;
+  while (n-- > 0) {
+    iprism::core::StiCalculator sti;  // CHECK-FLAG
+    (void)sti;
+  }
+  do {
+    iprism::core::RiskMonitor monitor;  // CHECK-FLAG
+    (void)monitor;
+  } while (false);
+  const int xs[] = {1, 2, 3};
+  for (int x : xs) {
+    (void)x;
+    iprism::core::StiCalculator sti;  // CHECK-FLAG
+    (void)sti;
+  }
+}
+
+// --- must stay silent ------------------------------------------------------
+
+void hoisted_engine_session_per_iteration() {
+  iprism::core::RiskMonitor engine;  // hoisted: constructed once
+  (void)engine;
+  for (int i = 0; i < 4; ++i) {
+    iprism::core::RiskSession session;  // sessions are the per-tick object
+    (void)session;
+  }
+}
+
+void engine_outside_any_loop() {
+  iprism::core::StiCalculator sti;
+  (void)sti;
+}
+
+void engine_in_for_init_constructs_once() {
+  for (iprism::core::ReachTubeComputer rt; false;) {
+    (void)rt;
+  }
+}
+
+void unrelated_type_in_loop() {
+  for (int i = 0; i < 4; ++i) {
+    other::RiskMonitor not_an_engine;
+    (void)not_an_engine;
+  }
+}
+
+void suppressed_with_rationale() {
+  for (int i = 0; i < 2; ++i) {
+    // Parameter-matrix sweeps construct engines on purpose.
+    iprism::core::StiCalculator sti;  // NOLINT(iprism-session-discipline)
+    (void)sti;
+  }
+}

@@ -12,6 +12,7 @@
 #include "NoUnorderedInCoreCheck.h"
 #include "RawThreadCheck.h"
 #include "RngDisciplineCheck.h"
+#include "SessionDisciplineCheck.h"
 #include "SimdDisciplineCheck.h"
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
@@ -28,6 +29,8 @@ public:
     CheckFactories.registerCheck<FloatEqCheck>("iprism-float-eq");
     CheckFactories.registerCheck<RawThreadCheck>("iprism-raw-thread");
     CheckFactories.registerCheck<SimdDisciplineCheck>("iprism-simd-discipline");
+    CheckFactories.registerCheck<SessionDisciplineCheck>(
+        "iprism-session-discipline");
   }
 };
 

@@ -1,0 +1,94 @@
+#include "SessionDisciplineCheck.h"
+
+#include "IprismCheckCommon.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::iprism {
+
+SessionDisciplineCheck::SessionDisciplineCheck(llvm::StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      // Default never matches: the clean run covers src/, where engine
+      // construction in a loop is always a defect. Tests that sweep engine
+      // parameter matrices on purpose are outside that run.
+      AllowedFilesRegex(Options.get("AllowedFilesRegex", "^$")),
+      AllowedFiles(AllowedFilesRegex) {}
+
+void SessionDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFilesRegex", AllowedFilesRegex);
+}
+
+void SessionDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  // Matching the construct expression (not the var decl) catches engines
+  // materialized as temporaries, new-expressions, and container emplaces as
+  // well as plain locals. hasAncestor walks into the loop *body* only via
+  // hasBody: an engine built in a for-init runs once and is legitimate.
+  const auto Engine = cxxRecordDecl(hasAnyName(
+      "::iprism::core::ReachTubeComputer", "::iprism::core::StiCalculator",
+      "::iprism::core::RiskMonitor"));
+  // Pre-filter to construct expressions under *some* loop; check() then
+  // walks the parent chain to confirm the loop's body (not its init or
+  // condition, which construct once) contains the expression.
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(Engine))),
+                       hasAncestor(stmt(anyOf(forStmt(), whileStmt(), doStmt(),
+                                              cxxForRangeStmt()))))
+          .bind("ctor"),
+      this);
+}
+
+void SessionDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ctor = Result.Nodes.getNodeAs<CXXConstructExpr>("ctor");
+  if (Ctor == nullptr)
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+  if (!shouldReport(SM, Ctor->getBeginLoc(), AllowedFiles))
+    return;
+
+  // Walk up the parent chain; report only when the construct expression sits
+  // inside a loop *body* (a for-init or loop condition constructs once).
+  const Stmt *Node = Ctor;
+  auto &Ctx = *Result.Context;
+  while (true) {
+    const auto Parents = Ctx.getParents(*Node);
+    if (Parents.empty())
+      return;
+    const Stmt *Parent = Parents[0].get<Stmt>();
+    if (Parent == nullptr) {
+      // Crossed out of statements (e.g. into a VarDecl); keep climbing
+      // through the declaration to its enclosing statement.
+      if (const auto *ParentDecl = Parents[0].get<Decl>()) {
+        const auto DeclParents = Ctx.getParents(*ParentDecl);
+        if (DeclParents.empty())
+          return;
+        Parent = DeclParents[0].get<Stmt>();
+        if (Parent == nullptr)
+          return;
+      } else {
+        return;
+      }
+    }
+    const Stmt *Body = nullptr;
+    if (const auto *For = dyn_cast<ForStmt>(Parent))
+      Body = For->getBody();
+    else if (const auto *While = dyn_cast<WhileStmt>(Parent))
+      Body = While->getBody();
+    else if (const auto *Do = dyn_cast<DoStmt>(Parent))
+      Body = Do->getBody();
+    else if (const auto *Range = dyn_cast<CXXForRangeStmt>(Parent))
+      Body = Range->getBody();
+    if (Body != nullptr && Node == Body) {
+      diag(Ctor->getBeginLoc(),
+           "risk-stack engine constructed inside a loop body: engines "
+           "(ReachTubeComputer/StiCalculator/RiskMonitor) are immutable and "
+           "validate/build on construction — hoist the engine out of the "
+           "loop and reuse a core::RiskSession per stream (DESIGN.md §14)");
+      return;
+    }
+    Node = Parent;
+  }
+}
+
+} // namespace clang::tidy::iprism

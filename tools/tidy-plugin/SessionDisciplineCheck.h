@@ -1,0 +1,46 @@
+// iprism-session-discipline
+//
+// Flags construction of the risk-stack *engines* — core::ReachTubeComputer,
+// core::StiCalculator, core::RiskMonitor — inside a loop body. Engines are
+// immutable after construction (params validated, kernels built, DESIGN.md
+// §14): build one outside the loop and hand it a core::RiskSession per
+// stream. Constructing an engine per tick silently rebuilds all of that
+// every iteration and discards the session's warm scratch — the exact
+// M-engines/M-pools regression the engine/session split removed.
+//
+// Sessions are the per-iteration object; constructing a RiskSession in a
+// loop is deliberate and stays silent.
+//
+// Options:
+//   AllowedFilesRegex — files exempt from the check (default: none; the
+//                       clean run covers src/ only, where no exemption is
+//                       legitimate).
+#ifndef IPRISM_TIDY_PLUGIN_SESSION_DISCIPLINE_CHECK_H
+#define IPRISM_TIDY_PLUGIN_SESSION_DISCIPLINE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+#include <string>
+
+namespace clang::tidy::iprism {
+
+class SessionDisciplineCheck : public ClangTidyCheck {
+public:
+  SessionDisciplineCheck(llvm::StringRef Name, ClangTidyContext *Context);
+
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedFilesRegex;
+  llvm::Regex AllowedFiles;
+};
+
+} // namespace clang::tidy::iprism
+
+#endif // IPRISM_TIDY_PLUGIN_SESSION_DISCIPLINE_CHECK_H
